@@ -1,0 +1,38 @@
+//! Criterion benchmark of the CSIDH group action on the host backends
+//! (small exponent bound so a single sample stays in milliseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpise_csidh::{group_action, PrivateKey, PublicKey};
+use mpise_fp::{Fp, FpFull, FpRed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sparse_key() -> PrivateKey {
+    let mut exponents = [0i8; mpise_fp::params::NUM_PRIMES];
+    exponents[0] = 1;
+    exponents[25] = -1;
+    exponents[73] = 1;
+    PrivateKey { exponents }
+}
+
+fn bench_action<F: Fp>(c: &mut Criterion, name: &str, f: &F) {
+    let key = sparse_key();
+    let mut g = c.benchmark_group("csidh");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("sparse-action", name), |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(42);
+            group_action(f, &mut rng, black_box(&PublicKey::BASE), black_box(&key))
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_action(c, "full-radix", &FpFull::new());
+    bench_action(c, "reduced-radix", &FpRed::new());
+}
+
+criterion_group!(csidh, benches);
+criterion_main!(csidh);

@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks of the host-speed field backends
+//! (full-radix vs reduced-radix), the host-side analogue of Table 4's
+//! upper rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpise_fp::{Fp, FpFull, FpRed};
+use mpise_mpi::U512;
+use std::hint::black_box;
+
+fn bench_backend<F: Fp>(c: &mut Criterion, name: &str, f: &F) {
+    let a = f.from_uint(
+        &U512::from_hex("0x123456789abcdef0fedcba987654321000112233445566778899aabbccddeeff")
+            .unwrap(),
+    );
+    let b = f.from_uint(
+        &U512::from_hex("0x0fedcba987654321123456789abcdef0ffeeddccbbaa99887766554433221100")
+            .unwrap(),
+    );
+    let mut g = c.benchmark_group("fp");
+    g.bench_function(BenchmarkId::new("mul", name), |bench| {
+        bench.iter(|| f.mul(black_box(&a), black_box(&b)))
+    });
+    g.bench_function(BenchmarkId::new("sqr", name), |bench| {
+        bench.iter(|| f.sqr(black_box(&a)))
+    });
+    g.bench_function(BenchmarkId::new("add", name), |bench| {
+        bench.iter(|| f.add(black_box(&a), black_box(&b)))
+    });
+    g.bench_function(BenchmarkId::new("sub", name), |bench| {
+        bench.iter(|| f.sub(black_box(&a), black_box(&b)))
+    });
+    g.bench_function(BenchmarkId::new("inv", name), |bench| {
+        bench.iter(|| f.inv(black_box(&a)))
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_backend(c, "full-radix", &FpFull::new());
+    bench_backend(c, "reduced-radix", &FpRed::new());
+}
+
+criterion_group!(field, benches);
+criterion_main!(field);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks of the MPI layer, including the
+//! multiplication-technique ablation the paper mentions in §4
+//! ("product-scanning is more efficient than Karatsuba's algorithm").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpise_mpi::fast::{fast_reduce_add, fast_reduce_swap};
+use mpise_mpi::mul::{mul_karatsuba, mul_os, mul_ps, square_ps};
+use mpise_mpi::{MontCtx, U512};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let a = U512::from_hex("0x65b48e8f740f89bffc8ab0d15e3e4c4ab42d083aedc88c425afbfcc69322c9cd")
+        .unwrap();
+    let b = U512::from_hex("0xa7aac6c567f35507516730cc1f0b4f25c2721bf457aca8351b81b90533c6c87b")
+        .unwrap();
+    let p = U512::from_limbs(mpise_fp::params::P_LIMBS);
+    let ctx = MontCtx::new(p).unwrap();
+
+    let mut g = c.benchmark_group("mpi-mul-512");
+    g.bench_function("product-scanning", |bench| {
+        bench.iter(|| mul_ps(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("operand-scanning", |bench| {
+        bench.iter(|| mul_os(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("karatsuba", |bench| {
+        bench.iter(|| mul_karatsuba(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("square-ps", |bench| {
+        bench.iter(|| square_ps(black_box(&a)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("mpi-reduce");
+    let (lo, hi) = mul_ps(&a, &b);
+    g.bench_function("montgomery-redc", |bench| {
+        bench.iter(|| ctx.redc(black_box(&lo), black_box(&hi)))
+    });
+    let x = a.wrapping_add(&U512::from_u64(12345));
+    g.bench_function("fast-reduce-add (Alg 1)", |bench| {
+        bench.iter(|| fast_reduce_add(black_box(&x), black_box(&p)))
+    });
+    g.bench_function("fast-reduce-swap (Alg 2)", |bench| {
+        bench.iter(|| fast_reduce_swap(black_box(&x), black_box(&p)))
+    });
+    g.finish();
+}
+
+criterion_group!(mpi, benches);
+criterion_main!(mpi);

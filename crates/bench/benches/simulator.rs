@@ -1,0 +1,26 @@
+//! Criterion benchmark of the simulator itself: host-time cost of
+//! executing one Fp-multiplication kernel, i.e. the price of the
+//! direct (full-simulation) group-action mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpise_fp::kernels::{Config, OpKind};
+use mpise_fp::measure::KernelRunner;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for config in Config::ALL {
+        let mut runner = KernelRunner::new(config);
+        let n = config.elem_words();
+        let a = vec![3u64; n];
+        let b = vec![5u64; n];
+        // Use small canonical values; kernels are constant-time anyway.
+        g.bench_function(BenchmarkId::new("fp-mul-kernel", config.to_string()), |bench| {
+            bench.iter(|| runner.run(OpKind::FpMul, black_box(&[a.as_slice(), b.as_slice()])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sim, benches);
+criterion_main!(sim);

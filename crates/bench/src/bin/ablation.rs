@@ -1,0 +1,198 @@
+//! Ablations of the design decisions the paper discusses:
+//!
+//! 1. §4: "product-scanning is more efficient than Karatsuba's
+//!    algorithm" — one-level Karatsuba kernels vs the product-scanning
+//!    kernels, on the same pipeline model;
+//! 2. §3.3: "XMUL does not extend the existing critical path" —
+//!    combinational-depth analysis of the three datapath variants;
+//! 3. micro-architecture sensitivity: how Table 4's Fp-multiplication
+//!    row moves when the multiplier latency or the load-use latency of
+//!    the core changes.
+//!
+//! ```text
+//! cargo run --release -p mpise-bench --bin ablation
+//! ```
+
+use mpise_bench::rule;
+use mpise_fp::kernels::ablation::{karatsuba_int_mul, rolled_int_mul};
+use mpise_fp::kernels::{Config, IseMode, KernelSet, OpKind, Radix};
+use mpise_fp::measure::KernelRunner;
+use mpise_hw::depth::analyze;
+use mpise_hw::xmul::{base_multiplier, full_radix_xmul, reduced_radix_xmul};
+use mpise_mpi::U512;
+use mpise_sim::machine::DATA_BASE;
+use mpise_sim::{Machine, Reg, TimingConfig};
+
+fn main() {
+    karatsuba_vs_product_scanning();
+    unrolling();
+    critical_path();
+    timing_sensitivity();
+}
+
+/// Measures what full unrolling buys (§3: "we also unroll the loops
+/// fully").
+fn unrolling() {
+    println!("ablation 1b: fully unrolled vs rolled (looped) 512-bit multiplication");
+    println!("{}", rule(72));
+    for (mode, ise) in [(IseMode::IsaOnly, false), (IseMode::IseSupported, true)] {
+        let config = Config {
+            radix: Radix::Full,
+            ise: mode,
+        };
+        let mut runner = KernelRunner::new(config);
+        let a = U512::from_u64(3);
+        let b = U512::from_u64(5);
+        let (_, unrolled) = runner.run(OpKind::IntMul, &[a.limbs(), b.limbs()]);
+
+        let prog = rolled_int_mul(ise);
+        let mut m = Machine::with_ext(config.extension());
+        m.load_program(&prog);
+        m.mem.write_limbs(DATA_BASE + 0x100, a.limbs()).unwrap();
+        m.mem.write_limbs(DATA_BASE + 0x200, b.limbs()).unwrap();
+        let stats = m
+            .call(&[
+                (Reg::A0, DATA_BASE),
+                (Reg::A1, DATA_BASE + 0x100),
+                (Reg::A2, DATA_BASE + 0x200),
+            ])
+            .unwrap();
+        println!(
+            "{:24} unrolled {:>5} cycles, rolled {:>5} cycles ({:.2}x)",
+            config.ise.to_string(),
+            unrolled,
+            stats.cycles,
+            stats.cycles as f64 / unrolled as f64
+        );
+    }
+    println!("{}", rule(72));
+    println!("(register-resident, fully unrolled kernels are what Table 4 measures)\n");
+}
+
+fn karatsuba_vs_product_scanning() {
+    println!("ablation 1: 512-bit integer multiplication technique (cycles)");
+    println!("{}", rule(72));
+    println!(
+        "{:24} {:>16} {:>16} {:>10}",
+        "configuration", "product-scanning", "karatsuba (1 lvl)", "winner"
+    );
+    println!("{}", rule(72));
+    for (mode, ise) in [(IseMode::IsaOnly, false), (IseMode::IseSupported, true)] {
+        let config = Config {
+            radix: Radix::Full,
+            ise: mode,
+        };
+        let mut runner = KernelRunner::new(config);
+        let a = U512::from_u64(3);
+        let b = U512::from_u64(5);
+        let (_, ps) = runner.run(OpKind::IntMul, &[a.limbs(), b.limbs()]);
+
+        let prog = karatsuba_int_mul(ise);
+        let mut m = Machine::with_ext(config.extension());
+        m.load_program(&prog);
+        m.mem.write_limbs(DATA_BASE + 0x100, a.limbs()).unwrap();
+        m.mem.write_limbs(DATA_BASE + 0x200, b.limbs()).unwrap();
+        let stats = m
+            .call(&[
+                (Reg::A0, DATA_BASE),
+                (Reg::A1, DATA_BASE + 0x100),
+                (Reg::A2, DATA_BASE + 0x200),
+            ])
+            .unwrap();
+        let kara = stats.cycles;
+        println!(
+            "{:24} {:>16} {:>16} {:>10}",
+            config.ise.to_string(),
+            ps,
+            kara,
+            if ps < kara { "PS" } else { "Karatsuba" }
+        );
+    }
+    println!("{}", rule(72));
+    println!("(paper §4 used product scanning for the same reason)\n");
+}
+
+fn critical_path() {
+    println!("ablation 2: combinational depth of the multiplier datapath variants");
+    println!("{}", rule(72));
+    for (name, netlist) in [
+        ("base multiplier", base_multiplier().netlist),
+        ("XMUL full-radix", full_radix_xmul().netlist),
+        ("XMUL reduced-radix", reduced_radix_xmul().netlist),
+    ] {
+        let d = analyze(&netlist);
+        println!(
+            "{:22} critical path {:>6.1} unit delays ({} nets)",
+            name, d.critical_path, d.nets
+        );
+    }
+    println!("{}", rule(72));
+    println!("(§3.3: XMUL is pipelined so the additions stay off the clock-limiting path)\n");
+}
+
+fn timing_sensitivity() {
+    println!("ablation 3: Fp-multiplication cycles vs core timing parameters");
+    println!("{}", rule(72));
+    println!(
+        "{:34} {:>11} {:>11} {:>11}",
+        "timing model", "full ISA", "full ISE", "red. ISE"
+    );
+    println!("{}", rule(72));
+    let variants: [(&str, TimingConfig); 4] = [
+        ("Rocket-like (default)", TimingConfig::default()),
+        (
+            "3-cycle multiplier",
+            TimingConfig {
+                mul_latency: 3,
+                ..TimingConfig::default()
+            },
+        ),
+        (
+            "3-cycle loads",
+            TimingConfig {
+                load_latency: 3,
+                ..TimingConfig::default()
+            },
+        ),
+        (
+            "single-cycle multiplier",
+            TimingConfig {
+                mul_latency: 1,
+                ..TimingConfig::default()
+            },
+        ),
+    ];
+    for (name, timing) in variants {
+        print!("{:34}", name);
+        for config in [Config::ALL[0], Config::ALL[1], Config::ALL[3]] {
+            let set = KernelSet::build(config);
+            let mut m = Machine::with_ext(config.extension());
+            m.set_timing(timing);
+            m.load_program(set.kernel(OpKind::FpMul));
+            let pool = match config.radix {
+                Radix::Full => mpise_fp::kernels::const_pool_full(),
+                Radix::Reduced => mpise_fp::kernels::const_pool_red(),
+            };
+            m.mem.write_limbs(DATA_BASE + 0x300, &pool).unwrap();
+            let n = config.elem_words();
+            m.mem
+                .write_limbs(DATA_BASE + 0x100, &vec![3u64; n])
+                .unwrap();
+            m.mem
+                .write_limbs(DATA_BASE + 0x200, &vec![5u64; n])
+                .unwrap();
+            let stats = m
+                .call(&[
+                    (Reg::A0, DATA_BASE),
+                    (Reg::A1, DATA_BASE + 0x100),
+                    (Reg::A2, DATA_BASE + 0x200),
+                    (Reg::A3, DATA_BASE + 0x300),
+                ])
+                .unwrap();
+            print!(" {:>11}", stats.cycles);
+        }
+        println!();
+    }
+    println!("{}", rule(72));
+    println!("(the ISE advantage persists across plausible core timings)");
+}

@@ -1,0 +1,73 @@
+//! Reproduces the instruction-count and latency claims of Listings 1–4
+//! and the carry-propagation sequences of §3.2.
+//!
+//! ```text
+//! cargo run -p mpise-bench --bin listings
+//! ```
+
+use mpise_bench::rule;
+use mpise_core::{full_radix_ext, reduced_radix_ext};
+use mpise_fp::kernels::mac;
+use mpise_sim::asm::Program;
+use mpise_sim::ext::IsaExtension;
+use mpise_sim::{Inst, Machine, Reg};
+
+/// Runs a MAC snippet `reps` times back-to-back and reports the cycle
+/// count, showing throughput including pipelining effects.
+fn latency(prog: &Program, ext: IsaExtension, reps: usize) -> u64 {
+    let mut insts = Vec::new();
+    for _ in 0..reps {
+        insts.extend_from_slice(prog.insts());
+    }
+    insts.push(Inst::Ebreak);
+    let mut m = Machine::with_ext(ext);
+    m.load_program(&Program::from_insts(insts));
+    m.cpu.write_reg(Reg::A0, 0x1234_5678_9abc_def0);
+    m.cpu.write_reg(Reg::A1, 0x0fed_cba9_8765_4321);
+    let stats = m.run().expect("snippet runs");
+    stats.cycles - 1 // exclude the ebreak
+}
+
+fn main() {
+    let plain = || IsaExtension::new("rv64im");
+    let rows = [
+        ("Listing 1: full-radix MAC, ISA-only", mac::listing1_full_isa(), plain(), 8usize),
+        ("Listing 2: reduced-radix MAC, ISA-only", mac::listing2_red_isa(), plain(), 6),
+        ("Listing 3: full-radix MAC, ISE", mac::listing3_full_ise(), full_radix_ext(), 4),
+        ("Listing 4: reduced-radix MAC, ISE", mac::listing4_red_ise(), reduced_radix_ext(), 2),
+        ("carry propagation, ISA-only", mac::carry_prop_isa(), plain(), 3),
+        ("carry propagation, ISE (sraiadd)", mac::carry_prop_ise(), reduced_radix_ext(), 2),
+    ];
+    println!("MAC and carry-propagation micro-kernels (paper §3.1/§3.2)");
+    println!("{}", rule(92));
+    println!(
+        "{:42} {:>7} {:>7} {:>11} {:>11}",
+        "Snippet", "#insts", "paper", "1x cycles", "8x cycles"
+    );
+    println!("{}", rule(92));
+    for (name, prog, ext, paper_count) in rows {
+        let got = prog.len();
+        let c1 = latency(&prog, ext.clone(), 1);
+        let c8 = latency(&prog, ext, 8);
+        println!(
+            "{:42} {:>7} {:>7} {:>11} {:>11}",
+            name, got, paper_count, c1, c8
+        );
+        assert_eq!(got, paper_count, "{name}: instruction count mismatch");
+    }
+    println!("{}", rule(92));
+    println!("instruction counts match the paper: 8 -> 4 (full-radix MAC),");
+    println!("6 -> 2 (reduced-radix MAC), 3 -> 2 (carry propagation)");
+
+    // Disassembly of the four listings for the record.
+    println!();
+    for (name, prog, ext) in [
+        ("Listing 1", mac::listing1_full_isa(), plain()),
+        ("Listing 2", mac::listing2_red_isa(), plain()),
+        ("Listing 3", mac::listing3_full_ise(), full_radix_ext()),
+        ("Listing 4", mac::listing4_red_ise(), reduced_radix_ext()),
+    ] {
+        println!("{name}:");
+        print!("{}", prog.disassemble(&ext));
+    }
+}

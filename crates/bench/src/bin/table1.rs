@@ -1,0 +1,60 @@
+//! Reproduces Table 1: overview of the two ISE sets, generated from
+//! the live instruction registries (not a hard-coded table).
+//!
+//! ```text
+//! cargo run -p mpise-bench --bin table1
+//! ```
+
+use mpise_bench::rule;
+use mpise_core::{full_radix_ext, reduced_radix_ext};
+use mpise_core::guidelines::check;
+
+fn main() {
+    let full = full_radix_ext();
+    let red = reduced_radix_ext();
+
+    // Classify by functionality: multiply-add vs carry propagation.
+    let madds = |e: &mpise_sim::ext::IsaExtension| -> Vec<&'static str> {
+        e.defs()
+            .iter()
+            .filter(|d| d.mnemonic.contains("madd"))
+            .map(|d| d.mnemonic)
+            .collect()
+    };
+    let carries = |e: &mpise_sim::ext::IsaExtension| -> Vec<&'static str> {
+        e.defs()
+            .iter()
+            .filter(|d| !d.mnemonic.contains("madd"))
+            .map(|d| d.mnemonic)
+            .collect()
+    };
+
+    println!("Table 1: overview of the ISEs");
+    println!("{}", rule(70));
+    println!("{:22} {:>20} {:>24}", "Functionality", "full-radix", "reduced-radix");
+    println!("{}", rule(70));
+    println!(
+        "{:22} {:>20} {:>24}",
+        "Integer multiply-add",
+        madds(&full).join(", "),
+        madds(&red).join(", ")
+    );
+    println!(
+        "{:22} {:>20} {:>24}",
+        "Carry propagation",
+        carries(&full).join(", "),
+        carries(&red).join(", ")
+    );
+    println!("{}", rule(70));
+
+    for (name, e) in [("full-radix", &full), ("reduced-radix", &red)] {
+        let report = check(e);
+        println!(
+            "{name}: {} instructions ({} R4-format, {} two-source), design guidelines: {}",
+            e.defs().len(),
+            report.r4_count,
+            report.two_source_count,
+            if report.is_compliant() { "compliant" } else { "VIOLATED" }
+        );
+    }
+}

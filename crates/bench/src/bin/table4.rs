@@ -1,0 +1,178 @@
+//! Reproduces Table 4: execution times (cycles) of CSIDH-512
+//! operations in the four configurations, including the class group
+//! action.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mpise-bench --bin table4 [--quick] [--full-sim]
+//! ```
+//!
+//! * default: all eight kernel rows are measured by executing the
+//!   generated assembly on the Rocket pipeline model; the group-action
+//!   row is estimated as Σ op-count × per-op cycles, with the op
+//!   counts taken from an instrumented run of the real group action
+//!   (exponent bound ±5, fixed seed);
+//! * `--quick`: exponent bound ±1 for the instrumented run;
+//! * `--full-sim`: additionally runs the group action with *every
+//!   field operation executed on the simulator* (slow; minutes) and
+//!   reports the directly simulated cycle counts.
+
+use mpise_bench::{paper_cycles, ratio, rule, PAPER_ACTION_MCYCLES};
+use mpise_csidh::{group_action, PrivateKey, PublicKey};
+use mpise_fp::kernels::{Config, OpKind};
+use mpise_fp::measure::measure_config;
+use mpise_fp::simfp::SimFp;
+use mpise_fp::{CountingFp, FpFull, OpCounts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[allow(clippy::needless_range_loop)] // cfg indexes two parallel tables
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let full_sim = args.iter().any(|a| a == "--full-sim");
+    let bound = if quick { 1 } else { 5 };
+
+    eprintln!("measuring kernels on the Rocket pipeline model ...");
+    let measurements: Vec<Vec<(OpKind, u64)>> = Config::ALL
+        .iter()
+        .map(|&c| {
+            measure_config(c, 2)
+                .into_iter()
+                .map(|m| (m.op, m.cycles))
+                .collect()
+        })
+        .collect();
+    let cycles = |cfg: usize, op: OpKind| -> u64 {
+        measurements[cfg]
+            .iter()
+            .find(|(o, _)| *o == op)
+            .expect("measured")
+            .1
+    };
+
+    eprintln!("instrumenting the group action (exponent bound ±{bound}) ...");
+    let counting = CountingFp::new(FpFull::new());
+    let mut rng = StdRng::seed_from_u64(0xC51D);
+    let key = PrivateKey::random_with_bound(&mut rng, bound);
+    let pk = group_action(&counting, &mut rng, &PublicKey::BASE, &key);
+    let counts = counting.counts();
+    eprintln!(
+        "  group action: {} mul, {} sqr, {} add, {} sub (public key {:.16}...)",
+        counts.mul,
+        counts.sqr,
+        counts.add,
+        counts.sub,
+        pk.a.to_hex()
+    );
+
+    let action_cycles = |cfg: usize| -> u64 {
+        counts.mul * cycles(cfg, OpKind::FpMul)
+            + counts.sqr * cycles(cfg, OpKind::FpSqr)
+            + counts.add * cycles(cfg, OpKind::FpAdd)
+            + counts.sub * cycles(cfg, OpKind::FpSub)
+    };
+
+    println!("Table 4: execution times of CSIDH-512 operations (clock cycles)");
+    println!("measured = this reproduction (Rocket pipeline model); paper = DAC'24 Table 4");
+    println!("{}", rule(100));
+    println!(
+        "{:28} {:>16} {:>16} {:>16} {:>16}",
+        "Operation", "Full ISA-only", "Full ISE-sup.", "Red. ISA-only", "Red. ISE-sup."
+    );
+    println!("{}", rule(100));
+    for op in OpKind::ALL {
+        print!("{:28}", op.label());
+        for cfg in 0..4 {
+            print!(" {:>9} ({:>4})", cycles(cfg, op), paper_cycles(op, cfg));
+        }
+        println!();
+    }
+    println!("{}", rule(100));
+    let base = action_cycles(0) as f64;
+    print!("{:28}", "CSIDH group action (est.)");
+    for cfg in 0..4 {
+        let c = action_cycles(cfg);
+        print!(" {:>9.1}M ({:>3.0}M)", c as f64 / 1e6, PAPER_ACTION_MCYCLES[cfg]);
+    }
+    println!();
+    print!("{:28}", "  speedup vs full ISA-only");
+    for cfg in 0..4 {
+        let r = ratio(base, action_cycles(cfg) as f64);
+        let p = ratio(PAPER_ACTION_MCYCLES[0], PAPER_ACTION_MCYCLES[cfg]);
+        print!(" {:>10} ({:>4})", r, p);
+    }
+    println!();
+    println!("{}", rule(100));
+    println!("(values in parentheses: the paper's numbers; the group-action row is");
+    println!(" op-count x per-op-cycles with counts from the instrumented action)");
+
+    if full_sim {
+        println!();
+        println!("direct full simulation of the group action (every Fp op on the simulator):");
+        for (cfg_idx, &config) in Config::ALL.iter().enumerate() {
+            let sim = SimFp::new(config);
+            let mut rng = StdRng::seed_from_u64(0xC51D);
+            let t0 = std::time::Instant::now();
+            let pk_sim = group_action(&sim, &mut rng, &PublicKey::BASE, &key);
+            assert_eq!(pk_sim, pk, "simulated action disagrees with host action");
+            println!(
+                "  {:32} {:>10.1}M cycles  ({} kernel calls, host time {:.1?})",
+                config.to_string(),
+                sim.cycles() as f64 / 1e6,
+                sim.calls(),
+                t0.elapsed()
+            );
+            let _ = cfg_idx;
+        }
+    }
+
+    // Shape assertions (the reproduction's success criteria).
+    let verdict = check_shape(&counts, &|cfg, op| cycles(cfg, op));
+    println!();
+    match verdict {
+        Ok(()) => println!("shape check: PASS (all Table 4 orderings hold)"),
+        Err(e) => println!("shape check: FAIL — {e}"),
+    }
+}
+
+fn check_shape(
+    counts: &OpCounts,
+    cycles: &dyn Fn(usize, OpKind) -> u64,
+) -> Result<(), String> {
+    // ISA-only: full radix wins Fp-mul/sqr, loses add/sub.
+    if cycles(0, OpKind::FpMul) >= cycles(2, OpKind::FpMul) {
+        return Err("full-radix ISA-only Fp-mul should beat reduced-radix".into());
+    }
+    // ISE: reduced radix wins Fp-mul/sqr.
+    if cycles(3, OpKind::FpMul) >= cycles(1, OpKind::FpMul) {
+        return Err("reduced-radix ISE Fp-mul should beat full-radix ISE".into());
+    }
+    if cycles(3, OpKind::FpSqr) >= cycles(1, OpKind::FpSqr) {
+        return Err("reduced-radix ISE Fp-sqr should beat full-radix ISE".into());
+    }
+    // Group action speedups in the paper's ballpark.
+    let act = |cfg: usize| {
+        (counts.mul * cycles(cfg, OpKind::FpMul)
+            + counts.sqr * cycles(cfg, OpKind::FpSqr)
+            + counts.add * cycles(cfg, OpKind::FpAdd)
+            + counts.sub * cycles(cfg, OpKind::FpSub)) as f64
+    };
+    let speedup_red = act(0) / act(3);
+    if !(1.3..2.4).contains(&speedup_red) {
+        return Err(format!(
+            "reduced-ISE speedup {speedup_red:.2}x outside the expected 1.3-2.4x window (paper: 1.71x)"
+        ));
+    }
+    let speedup_full = act(0) / act(1);
+    if !(1.1..2.0).contains(&speedup_full) {
+        return Err(format!(
+            "full-ISE speedup {speedup_full:.2}x outside the expected 1.1-2.0x window (paper: 1.39x)"
+        ));
+    }
+    if speedup_red <= speedup_full {
+        return Err("reduced-radix ISE must be the faster option (paper's conclusion)".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! Pure-Rust intrinsics with the exact semantics of the six custom
+//! instructions (Figures 1–3 of the paper).
+//!
+//! These are the "software view" of the ISEs: the host-speed
+//! ISE-supported field-arithmetic backends in `mpise-fp` are written in
+//! terms of these functions, exactly as assembly kernels are written in
+//! terms of the instructions. Each function documents the architectural
+//! pseudo-code from the corresponding figure.
+
+use crate::{REDUCED_RADIX_BITS, REDUCED_RADIX_MASK};
+
+/// `maddlu rd, rs1, rs2, rs3` — full-radix fused multiply-add, low half
+/// (Figure 1).
+///
+/// ```text
+/// m ← (1 << 64) − 1
+/// r ← (rs1 × rs2 + rs3) & m
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::intrinsics::maddlu;
+/// assert_eq!(maddlu(3, 4, 5), 17);
+/// assert_eq!(maddlu(u64::MAX, u64::MAX, u64::MAX), 0); // wraps mod 2^64
+/// ```
+#[inline]
+pub const fn maddlu(x: u64, y: u64, z: u64) -> u64 {
+    ((x as u128).wrapping_mul(y as u128).wrapping_add(z as u128)) as u64
+}
+
+/// `maddhu rd, rs1, rs2, rs3` — full-radix fused multiply-add, high half
+/// (Figure 1).
+///
+/// ```text
+/// m ← (1 << 64) − 1
+/// r ← ((rs1 × rs2 + rs3) >> 64) & m
+/// ```
+///
+/// Note the Multiply-**Add**-Shift-And order: the addend is applied to
+/// the full 128-bit product *before* the shift, so the carry out of the
+/// low half is absorbed here and needs no separate `sltu` (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::intrinsics::{maddhu, maddlu};
+/// // (x*y + z) == (maddhu << 64) | maddlu for any inputs:
+/// let (x, y, z) = (0xdead_beef_u64, 0xcafe_f00d_dead_beef_u64, u64::MAX);
+/// let full = (x as u128) * (y as u128) + (z as u128);
+/// assert_eq!(full, ((maddhu(x, y, z) as u128) << 64) | maddlu(x, y, z) as u128);
+/// ```
+#[inline]
+pub const fn maddhu(x: u64, y: u64, z: u64) -> u64 {
+    (((x as u128).wrapping_mul(y as u128).wrapping_add(z as u128)) >> 64) as u64
+}
+
+/// `cadd rd, rs1, rs2, rs3` — compute-Carry-then-ADD (Figure 3).
+///
+/// ```text
+/// r ← ((rs1 + rs2) >> 64) + rs3
+/// ```
+///
+/// i.e. the carry-out of `rs1 + rs2` (0 or 1) added to `rs3`. Replaces
+/// the `sltu`/`add` pair of the ISA-only full-radix MAC (Listing 1).
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::intrinsics::cadd;
+/// assert_eq!(cadd(u64::MAX, 1, 10), 11); // carry out
+/// assert_eq!(cadd(5, 6, 10), 10);        // no carry
+/// ```
+#[inline]
+pub const fn cadd(x: u64, y: u64, z: u64) -> u64 {
+    (((x as u128 + y as u128) >> 64) as u64).wrapping_add(z)
+}
+
+/// `madd57lu rd, rs1, rs2, rs3` — reduced-radix fused multiply-add, low
+/// 57 bits (Figure 2).
+///
+/// ```text
+/// m ← (1 << 57) − 1
+/// r ← ((rs1 × rs2) & m) + rs3
+/// ```
+///
+/// Unlike AVX-512IFMA's `vpmadd52luq`, the multiplier is a full 64×64
+/// one, so limbs that exceed 57 bits (delayed carries) do not saturate
+/// it (§3.2, "multiplier saturation problem").
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::intrinsics::madd57lu;
+/// assert_eq!(madd57lu(1 << 56, 2, 3), 3); // product low 57 bits are 0
+/// assert_eq!(madd57lu(3, 4, 5), 17);
+/// ```
+#[inline]
+pub const fn madd57lu(x: u64, y: u64, z: u64) -> u64 {
+    ((x as u128).wrapping_mul(y as u128) as u64 & REDUCED_RADIX_MASK).wrapping_add(z)
+}
+
+/// `madd57hu rd, rs1, rs2, rs3` — reduced-radix fused multiply-add,
+/// bits 120…57 of the product (Figure 2).
+///
+/// ```text
+/// m ← (1 << 64) − 1
+/// r ← (((rs1 × rs2) >> 57) & m) + rs3
+/// ```
+///
+/// The high part keeps all 64 result bits ("the product is usually
+/// larger than 2·57 bits, especially when the carry-propagation is
+/// delayed").
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::intrinsics::{madd57hu, madd57lu};
+/// let (x, y) = ((1u64 << 57) - 1, (1u64 << 57) - 1);
+/// // Low + (high << 57) reassembles the product:
+/// let p = (x as u128) * (y as u128);
+/// let lo = madd57lu(x, y, 0) as u128;
+/// let hi = madd57hu(x, y, 0) as u128;
+/// assert_eq!(p, (hi << 57) | lo);
+/// ```
+#[inline]
+pub const fn madd57hu(x: u64, y: u64, z: u64) -> u64 {
+    ((((x as u128).wrapping_mul(y as u128)) >> REDUCED_RADIX_BITS) as u64).wrapping_add(z)
+}
+
+/// `sraiadd rd, rs1, rs2, imm` — fused arithmetic-shift-right and add
+/// (Figure 3).
+///
+/// ```text
+/// r ← rs1 + EXTS(rs2 >> imm)
+/// ```
+///
+/// Implements the final one-time carry propagation of a reduced-radix
+/// value in one instruction instead of `srai` + `add`, and breaks the
+/// dependency chain of the propagation (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::intrinsics::sraiadd;
+/// // Propagate the carry of a 57-bit limb into the next limb:
+/// let limb = (3u64 << 57) | 5; // value 5 with delayed carry 3
+/// assert_eq!(sraiadd(100, limb, 57), 103);
+/// // Arithmetic shift: negative limbs propagate a negative carry.
+/// let neg = -1i64 as u64;
+/// assert_eq!(sraiadd(100, neg, 57), 99);
+/// ```
+#[inline]
+pub const fn sraiadd(x: u64, y: u64, imm: u32) -> u64 {
+    x.wrapping_add(((y as i64) >> (imm & 63)) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maddlu_maddhu_reassemble_the_full_sum() {
+        let cases = [
+            (0u64, 0u64, 0u64),
+            (1, 1, 1),
+            (u64::MAX, u64::MAX, u64::MAX),
+            (0x1234_5678_9abc_def0, 0xfedc_ba98_7654_3210, 42),
+            (1 << 63, 2, 0),
+        ];
+        for (x, y, z) in cases {
+            let full = (x as u128) * (y as u128) + z as u128;
+            let lo = maddlu(x, y, z) as u128;
+            let hi = maddhu(x, y, z) as u128;
+            assert_eq!(full, (hi << 64) | lo, "x={x:#x} y={y:#x} z={z:#x}");
+        }
+    }
+
+    #[test]
+    fn maddhu_absorbs_low_half_carry() {
+        // x*y low half = 2^64-1, adding z=1 carries into the high half.
+        let x = u64::MAX;
+        let y = 1;
+        assert_eq!(maddhu(x, y, 1), 1);
+        assert_eq!(maddlu(x, y, 1), 0);
+    }
+
+    #[test]
+    fn cadd_is_carry_plus_addend() {
+        assert_eq!(cadd(0, 0, 0), 0);
+        assert_eq!(cadd(u64::MAX, u64::MAX, 0), 1);
+        assert_eq!(cadd(u64::MAX, 1, u64::MAX), 0); // wraps
+    }
+
+    #[test]
+    fn madd57_pair_reassembles_product() {
+        let cases = [
+            (0u64, 0u64),
+            ((1 << 57) - 1, (1 << 57) - 1),
+            // limbs exceeding 57 bits (delayed carries) still work:
+            ((1 << 60) - 3, (1 << 59) + 12345),
+            (u64::MAX, u64::MAX),
+        ];
+        for (x, y) in cases {
+            let p = (x as u128).wrapping_mul(y as u128);
+            let lo = madd57lu(x, y, 0) as u128;
+            let hi = madd57hu(x, y, 0) as u128;
+            // hi keeps only 64 bits of p >> 57; for x=y=2^64-1 the
+            // product is < 2^128, p>>57 < 2^71 — compare modulo 2^64.
+            assert_eq!(lo, p & ((1 << 57) - 1));
+            assert_eq!(hi, (p >> 57) & ((1 << 64) - 1));
+        }
+    }
+
+    #[test]
+    fn madd57_addend_can_overflow_57_bits() {
+        // The addend is a full 64-bit register value: delayed carries.
+        let z = (1u64 << 62) + 7;
+        assert_eq!(madd57lu(0, 0, z), z);
+        assert_eq!(madd57hu(0, 0, z), z);
+    }
+
+    #[test]
+    fn sraiadd_matches_srai_plus_add() {
+        let vals = [0u64, 1, 5 << 57, u64::MAX, (1 << 63) | 12345];
+        for &x in &vals {
+            for &y in &vals {
+                for imm in [0u32, 1, 57, 63] {
+                    let expect = x.wrapping_add(((y as i64) >> imm) as u64);
+                    assert_eq!(sraiadd(x, y, imm), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_radix_mac_listing3_equals_listing1() {
+        // The ISE-supported MAC (Listing 3) must compute the same
+        // (e||h||l) += a*b as the ISA-only MAC (Listing 1).
+        let cases = [
+            (1u64, 2u64, 3u64, 4u64, 5u64),
+            (u64::MAX, u64::MAX, u64::MAX, u64::MAX, u64::MAX),
+            (0xdead_beef, 0xcafe_f00d, 1, 2, 3),
+        ];
+        for (a, b, e0, h0, l0) in cases {
+            // Reference: 192-bit accumulator arithmetic.
+            let acc = (e0 as u128) << 64 | h0 as u128;
+            let wide = (a as u128) * (b as u128);
+            let l_ref = (l0 as u128 + (wide & u64::MAX as u128)) as u64;
+            let carry_l = (l0 as u128 + (wide & u64::MAX as u128)) >> 64;
+            // The 192-bit accumulator wraps modulo 2^192; the e||h part
+            // therefore wraps modulo 2^128.
+            let hi_ref = acc.wrapping_add(wide >> 64).wrapping_add(carry_l);
+            let (h_ref, e_ref) = (hi_ref as u64, (hi_ref >> 64) as u64);
+
+            // Listing 3: maddhu z,a,b,l ; maddlu l,a,b,l ;
+            //            cadd e,h,z,e ; add h,h,z
+            let z = maddhu(a, b, l0);
+            let l = maddlu(a, b, l0);
+            let e = cadd(h0, z, e0);
+            let h = h0.wrapping_add(z);
+            assert_eq!(l, l_ref);
+            assert_eq!(h, h_ref);
+            assert_eq!(e, e_ref);
+        }
+    }
+
+    #[test]
+    fn reduced_radix_mac_listing4_equals_listing2() {
+        // (h||l) += a*b in the "57-bit aligned" sense of §3.2:
+        // l += (a*b)[56..0], h += (a*b)[120..57].
+        let cases = [
+            (1u64, 2u64, 3u64, 4u64),
+            ((1 << 57) - 1, (1 << 57) - 1, 99, 7),
+            ((1 << 60) + 5, (1 << 58) + 9, 1 << 62, 1 << 61),
+        ];
+        for (a, b, h0, l0) in cases {
+            let p = (a as u128) * (b as u128);
+            let l_ref = l0.wrapping_add((p as u64) & REDUCED_RADIX_MASK);
+            let h_ref = h0.wrapping_add((p >> 57) as u64);
+            assert_eq!(madd57lu(a, b, l0), l_ref);
+            assert_eq!(madd57hu(a, b, h0), h_ref);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Executable reference models of existing integer fused multiply-add
+//! instructions (Table 2 of the paper), and the MSA2 formalization.
+//!
+//! The paper analyses the ARM and Intel AVX-512IFMA instructions along
+//! three axes — computation (the Multiply-Shift-And-Add paradigm),
+//! instruction encoding, and supported radix. This module makes that
+//! analysis executable: each instruction is modelled bit-exactly, the
+//! MSA2 general form `rd ← (((rs1 × rs2) ≫ j) & m) + rs3` is a struct
+//! that can be instantiated per instruction, and the classification
+//! table used to regenerate Table 2 lives in [`TABLE2`].
+
+use std::fmt;
+
+/// ARM `mla rd, rs1, rs2, rs3`: low-half multiply-accumulate.
+///
+/// `rd ← lo(rs1 × rs2) + rs3`, modulo the register width.
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::related::arm_mla;
+/// assert_eq!(arm_mla(3, 4, 5), 17);
+/// ```
+pub fn arm_mla(rs1: u64, rs2: u64, rs3: u64) -> u64 {
+    rs1.wrapping_mul(rs2).wrapping_add(rs3)
+}
+
+/// ARM `umlal rdLo, rdHi, rs1, rs2`: widening multiply-accumulate.
+///
+/// `(rd2 ‖ rd1) ← rs1 × rs2 + (rd2 ‖ rd1)` on 32-bit source registers,
+/// accumulating into a 64-bit destination pair. Returns `(lo, hi)`.
+pub fn arm_umlal(rs1: u32, rs2: u32, rd1: u32, rd2: u32) -> (u32, u32) {
+    let acc = ((rd2 as u64) << 32) | rd1 as u64;
+    let r = (rs1 as u64).wrapping_mul(rs2 as u64).wrapping_add(acc);
+    (r as u32, (r >> 32) as u32)
+}
+
+/// ARM `umaal rdLo, rdHi, rs1, rs2`: multiply with double accumulate.
+///
+/// `(rd2 ‖ rd1) ← rs1 × rs2 + rd2 + rd1` — the "two additions" the
+/// paper notes cannot be expressed in MSA2 form. Never overflows:
+/// `(2^32−1)^2 + 2·(2^32−1) = 2^64 − 1`.
+pub fn arm_umaal(rs1: u32, rs2: u32, rd1: u32, rd2: u32) -> (u32, u32) {
+    let r = (rs1 as u64) * (rs2 as u64) + rd1 as u64 + rd2 as u64;
+    (r as u32, (r >> 32) as u32)
+}
+
+/// AVX-512IFMA `vpmadd52luq` (one 64-bit lane).
+///
+/// `rd ← lo52(rs1 × rs2) + rs3`, where the multiplier sees only the low
+/// 52 bits of each source — the saturation hazard §3.2 discusses.
+pub fn avx512_vpmadd52luq(rs1: u64, rs2: u64, rs3: u64) -> u64 {
+    let m = (1u64 << 52) - 1;
+    let p = ((rs1 & m) as u128) * ((rs2 & m) as u128);
+    ((p as u64) & m).wrapping_add(rs3)
+}
+
+/// AVX-512IFMA `vpmadd52huq` (one 64-bit lane).
+///
+/// `rd ← hi52(rs1 × rs2) + rs3` with the same 52-bit multiplier inputs.
+pub fn avx512_vpmadd52huq(rs1: u64, rs2: u64, rs3: u64) -> u64 {
+    let m = (1u64 << 52) - 1;
+    let p = ((rs1 & m) as u128) * ((rs2 & m) as u128);
+    (((p >> 52) as u64) & m).wrapping_add(rs3)
+}
+
+/// The Multiply-Shift-And-Add general form of §3.2:
+/// `rd ← (((rs1 × rs2) ≫ j) & m) + rs3`.
+///
+/// # Examples
+///
+/// `madd57hu` is MSA2 with `j = 57`, `m = 2^64 − 1`:
+///
+/// ```
+/// use mpise_core::related::Msa2;
+/// use mpise_core::intrinsics::madd57hu;
+/// let f = Msa2 { j: 57, m: u64::MAX };
+/// let (x, y, z) = (123 << 50, 456 << 40, 99);
+/// assert_eq!(f.eval(x, y, z), madd57hu(x, y, z));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msa2 {
+    /// Shift offset `j` (bits).
+    pub j: u32,
+    /// Mask `m`.
+    pub m: u64,
+}
+
+impl Msa2 {
+    /// Evaluates the general form.
+    pub fn eval(&self, rs1: u64, rs2: u64, rs3: u64) -> u64 {
+        let p = (rs1 as u128).wrapping_mul(rs2 as u128);
+        (((p >> self.j) as u64) & self.m).wrapping_add(rs3)
+    }
+}
+
+/// Which MPI radix representation an instruction supports (Table 2's
+/// last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadixSupport {
+    /// Full-radix only.
+    Full,
+    /// Reduced-radix only.
+    Reduced,
+    /// Both representations.
+    Both,
+}
+
+impl fmt::Display for RadixSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RadixSupport::Full => write!(f, "F"),
+            RadixSupport::Reduced => write!(f, "R"),
+            RadixSupport::Both => write!(f, "F + R"),
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Instruction mnemonic.
+    pub instruction: &'static str,
+    /// Owning ISA/ISE.
+    pub isa: &'static str,
+    /// Computation, as printed in the paper.
+    pub computation: &'static str,
+    /// Radix support classification.
+    pub radix: RadixSupport,
+    /// Whether the computation fits the MSA2 paradigm.
+    pub msa2: bool,
+    /// Number of source register addresses in the encoding.
+    pub source_regs: u8,
+}
+
+/// The rows of Table 2, in paper order.
+pub const TABLE2: [Table2Row; 5] = [
+    Table2Row {
+        instruction: "mla",
+        isa: "ARM",
+        computation: "rd <- lo(rs1 x rs2) + rs3",
+        radix: RadixSupport::Both,
+        msa2: true,
+        source_regs: 3,
+    },
+    Table2Row {
+        instruction: "umlal",
+        isa: "ARM",
+        computation: "(rd2 || rd1) <- (rs1 x rs2) + (rd2 || rd1)",
+        radix: RadixSupport::Both,
+        msa2: true,
+        source_regs: 4,
+    },
+    Table2Row {
+        instruction: "umaal",
+        isa: "ARM",
+        computation: "(rd2 || rd1) <- (rs1 x rs2) + rd2 + rd1",
+        radix: RadixSupport::Both,
+        msa2: false, // two additions: not expressible in MSA2
+        source_regs: 4,
+    },
+    Table2Row {
+        instruction: "vpmadd52luq",
+        isa: "AVX-512",
+        computation: "rd <- lo52(rs1 x rs2) + rs3",
+        radix: RadixSupport::Reduced,
+        msa2: true,
+        source_regs: 3,
+    },
+    Table2Row {
+        instruction: "vpmadd52huq",
+        isa: "AVX-512",
+        computation: "rd <- hi52(rs1 x rs2) + rs3",
+        radix: RadixSupport::Reduced,
+        msa2: true,
+        source_regs: 3,
+    },
+];
+
+/// Demonstrates the multiplier-saturation problem of AVX-512IFMA that
+/// motivated the paper's full-width multiplier (§3.2): returns `true`
+/// when `vpmadd52luq` on the given limbs would silently compute a wrong
+/// product because an input exceeds 52 bits.
+pub fn ifma_saturates(limb_a: u64, limb_b: u64) -> bool {
+    limb_a >> 52 != 0 || limb_b >> 52 != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intrinsics;
+
+    #[test]
+    fn mla_is_msa2_with_j0() {
+        let f = Msa2 { j: 0, m: u64::MAX };
+        for (x, y, z) in [(3u64, 4u64, 5u64), (u64::MAX, 2, 7)] {
+            assert_eq!(f.eval(x, y, z), arm_mla(x, y, z));
+        }
+    }
+
+    #[test]
+    fn umaal_never_overflows() {
+        let m = u32::MAX;
+        let (lo, hi) = arm_umaal(m, m, m, m);
+        // (2^32-1)^2 + 2(2^32-1) = 2^64 - 1
+        assert_eq!(((hi as u64) << 32) | lo as u64, u64::MAX);
+    }
+
+    #[test]
+    fn umlal_accumulates_wide() {
+        let (lo, hi) = arm_umlal(0x8000_0000, 2, 1, 0);
+        assert_eq!(((hi as u64) << 32) | lo as u64, 0x1_0000_0001);
+    }
+
+    #[test]
+    fn vpmadd52_pair_reassembles_products_of_52bit_limbs() {
+        let a = (1u64 << 52) - 3;
+        let b = (1u64 << 51) + 12345;
+        let p = (a as u128) * (b as u128);
+        let lo = avx512_vpmadd52luq(a, b, 0) as u128;
+        let hi = avx512_vpmadd52huq(a, b, 0) as u128;
+        assert_eq!(p, (hi << 52) | lo);
+    }
+
+    #[test]
+    fn saturation_problem_is_real_for_ifma_but_not_for_madd57() {
+        // A limb grown past 52 bits by a delayed carry:
+        let fat = (1u64 << 53) + 7;
+        let b = 12345u64;
+        assert!(ifma_saturates(fat, b));
+        // IFMA computes the wrong high product (the bits above 52 that
+        // the saturated multiplier never sees):
+        let wrong = avx512_vpmadd52huq(fat, b, 0);
+        let right = (((fat as u128 * b as u128) >> 52) as u64) & ((1 << 52) - 1);
+        assert_ne!(wrong, right);
+        // The paper's madd57lu uses a full 64-bit multiplier: exact even
+        // for limbs past 57 bits.
+        let fat57 = (1u64 << 59) + 7;
+        let got = intrinsics::madd57lu(fat57, b, 0);
+        let expect = ((fat57 as u128 * b as u128) as u64) & ((1 << 57) - 1);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn paper_instructions_fit_msa2_where_claimed() {
+        // madd57lu: j=0, m=2^57-1, then +z. (§3.2 designs the
+        // reduced-radix MACs "in MSA2 style".)
+        let f = Msa2 {
+            j: 0,
+            m: (1 << 57) - 1,
+        };
+        let (x, y, z) = ((1u64 << 60) + 5, (1u64 << 58) + 9, 42u64);
+        assert_eq!(f.eval(x, y, z), intrinsics::madd57lu(x, y, z));
+        let g = Msa2 { j: 57, m: u64::MAX };
+        assert_eq!(g.eval(x, y, z), intrinsics::madd57hu(x, y, z));
+    }
+
+    #[test]
+    fn maddhu_is_not_plain_msa2() {
+        // maddhu adds z BEFORE the shift (Multiply-Add-Shift-And), so
+        // the MSA2 form with post-add must differ on carrying inputs.
+        let f = Msa2 { j: 64, m: u64::MAX };
+        let (x, y) = (u64::MAX, 1u64);
+        let z = 2u64; // lo(x*y) + z carries; carry (1) != z (2)
+        assert_ne!(
+            f.eval(x, y, z),
+            intrinsics::maddhu(x, y, z),
+            "carry absorption distinguishes maddhu from MSA2"
+        );
+    }
+
+    #[test]
+    fn table2_is_consistent() {
+        assert_eq!(TABLE2.len(), 5);
+        // umaal is the only non-MSA2 row, as stated in §3.2.
+        let non_msa2: Vec<_> = TABLE2.iter().filter(|r| !r.msa2).collect();
+        assert_eq!(non_msa2.len(), 1);
+        assert_eq!(non_msa2[0].instruction, "umaal");
+        // All rows use at least three source register addresses.
+        assert!(TABLE2.iter().all(|r| r.source_regs >= 3));
+        // The IFMA rows are reduced-radix only.
+        for r in TABLE2.iter().filter(|r| r.isa == "AVX-512") {
+            assert_eq!(r.radix, RadixSupport::Reduced);
+        }
+    }
+}

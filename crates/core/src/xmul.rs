@@ -1,0 +1,391 @@
+//! Functional model of the XMUL execution unit (§3.3).
+//!
+//! The paper extends the Rocket core's pipelined multiplier into an
+//! "eXtended MULtiplier" that executes the base multiply instructions
+//! *and* all six custom instructions, each in one cycle, on a shared
+//! datapath. This module models that datapath explicitly:
+//!
+//! ```text
+//!        x ──┬──────────────► 64×64 multiplier ─► P (128 bits)
+//!        y ──┤                     │ (or bypass: P = x / EXTS(y))
+//!            │                     ▼
+//!   pre-add ─┴──────────────► 128-bit adder
+//!                                  │
+//!                                  ▼
+//!                        shifter (0 / 57 / 64 / imm)
+//!                                  │
+//!                                  ▼
+//!                      mask network (2^57−1 / 2^64−1)
+//!                                  │
+//!                                  ▼
+//!  post-add ────────────────► 64-bit adder ─► rd
+//! ```
+//!
+//! Every supported operation is a choice of control signals
+//! ([`Control`]) on this one structure; [`Xmul::execute`] evaluates it.
+//! The hardware cost model in `mpise-hw` prices exactly these blocks,
+//! so this module is the executable specification tying the ISA-level
+//! semantics to the synthesized-area experiment (Table 3).
+
+/// Operations the XMUL unit executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XmulOp {
+    /// Base-ISA `mul`.
+    Mul,
+    /// Base-ISA `mulh`.
+    Mulh,
+    /// Base-ISA `mulhsu`.
+    Mulhsu,
+    /// Base-ISA `mulhu`.
+    Mulhu,
+    /// Full-radix ISE `maddlu`.
+    Maddlu,
+    /// Full-radix ISE `maddhu`.
+    Maddhu,
+    /// Full-radix ISE `cadd`.
+    Cadd,
+    /// Reduced-radix ISE `madd57lu`.
+    Madd57lu,
+    /// Reduced-radix ISE `madd57hu`.
+    Madd57hu,
+    /// Reduced-radix ISE `sraiadd`.
+    Sraiadd,
+}
+
+impl XmulOp {
+    /// All operations of the base multiplier.
+    pub const BASE: [XmulOp; 4] = [XmulOp::Mul, XmulOp::Mulh, XmulOp::Mulhsu, XmulOp::Mulhu];
+    /// Operations added by the full-radix ISE.
+    pub const FULL_RADIX: [XmulOp; 3] = [XmulOp::Maddlu, XmulOp::Maddhu, XmulOp::Cadd];
+    /// Operations added by the reduced-radix ISE.
+    pub const REDUCED_RADIX: [XmulOp; 3] = [XmulOp::Madd57lu, XmulOp::Madd57hu, XmulOp::Sraiadd];
+}
+
+/// Source selected onto the 128-bit main path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MainPath {
+    /// The 64×64 product of `x` and `y` (sign treatment per op).
+    Product {
+        /// Treat `x` as signed.
+        x_signed: bool,
+        /// Treat `y` as signed.
+        y_signed: bool,
+    },
+    /// Multiplier bypass: `x` zero-extended (used by `cadd`).
+    XZext,
+    /// Multiplier bypass: `y` sign-extended (used by `sraiadd`).
+    YSext,
+}
+
+/// Addend applied on the 128-bit adder, before the shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreAdd {
+    /// No pre-shift addend.
+    Zero,
+    /// The third operand `z` (full-radix MACs fold the accumulator in
+    /// before the shift so the carry is absorbed — §3.2).
+    Z,
+    /// The second operand `y` (used by `cadd`'s carry computation).
+    Y,
+}
+
+/// Shift applied after the wide add (arithmetic on the 128-bit value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shift {
+    /// No shift.
+    None,
+    /// Right shift by 57 (one reduced-radix limb).
+    By57,
+    /// Right shift by 64 (one full-radix digit).
+    By64,
+    /// Right shift by the instruction's 6-bit immediate.
+    ByImm,
+}
+
+/// Mask applied after the shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mask {
+    /// Keep the low 57 bits (`2^57 − 1`).
+    Low57,
+    /// Keep the low 64 bits (`2^64 − 1`, i.e. plain truncation).
+    Low64,
+}
+
+/// Addend applied on the final 64-bit adder, after shift and mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostAdd {
+    /// No post addend.
+    Zero,
+    /// The third operand `z` (reduced-radix MACs and `cadd`).
+    Z,
+    /// The first operand `x` (`sraiadd`).
+    X,
+}
+
+/// The full control word of the datapath for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Control {
+    /// What drives the 128-bit main path.
+    pub main: MainPath,
+    /// Pre-shift addend selection.
+    pub pre_add: PreAdd,
+    /// Shift selection.
+    pub shift: Shift,
+    /// Mask selection.
+    pub mask: Mask,
+    /// Post-shift addend selection.
+    pub post_add: PostAdd,
+}
+
+/// Decodes an [`XmulOp`] into its datapath control word — the software
+/// twin of the decoder modifications described in §3.3.
+pub fn control(op: XmulOp) -> Control {
+    use XmulOp::*;
+    match op {
+        Mul => Control {
+            main: MainPath::Product {
+                x_signed: false,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Zero,
+            shift: Shift::None,
+            mask: Mask::Low64,
+            post_add: PostAdd::Zero,
+        },
+        Mulh => Control {
+            main: MainPath::Product {
+                x_signed: true,
+                y_signed: true,
+            },
+            pre_add: PreAdd::Zero,
+            shift: Shift::By64,
+            mask: Mask::Low64,
+            post_add: PostAdd::Zero,
+        },
+        Mulhsu => Control {
+            main: MainPath::Product {
+                x_signed: true,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Zero,
+            shift: Shift::By64,
+            mask: Mask::Low64,
+            post_add: PostAdd::Zero,
+        },
+        Mulhu => Control {
+            main: MainPath::Product {
+                x_signed: false,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Zero,
+            shift: Shift::By64,
+            mask: Mask::Low64,
+            post_add: PostAdd::Zero,
+        },
+        Maddlu => Control {
+            main: MainPath::Product {
+                x_signed: false,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Z,
+            shift: Shift::None,
+            mask: Mask::Low64,
+            post_add: PostAdd::Zero,
+        },
+        Maddhu => Control {
+            main: MainPath::Product {
+                x_signed: false,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Z,
+            shift: Shift::By64,
+            mask: Mask::Low64,
+            post_add: PostAdd::Zero,
+        },
+        Cadd => Control {
+            main: MainPath::XZext,
+            pre_add: PreAdd::Y,
+            shift: Shift::By64,
+            mask: Mask::Low64,
+            post_add: PostAdd::Z,
+        },
+        Madd57lu => Control {
+            main: MainPath::Product {
+                x_signed: false,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Zero,
+            shift: Shift::None,
+            mask: Mask::Low57,
+            post_add: PostAdd::Z,
+        },
+        Madd57hu => Control {
+            main: MainPath::Product {
+                x_signed: false,
+                y_signed: false,
+            },
+            pre_add: PreAdd::Zero,
+            shift: Shift::By57,
+            mask: Mask::Low64,
+            post_add: PostAdd::Z,
+        },
+        Sraiadd => Control {
+            main: MainPath::YSext,
+            pre_add: PreAdd::Zero,
+            shift: Shift::ByImm,
+            mask: Mask::Low64,
+            post_add: PostAdd::X,
+        },
+    }
+}
+
+/// The XMUL unit: evaluates operations on the shared datapath.
+///
+/// # Examples
+///
+/// ```
+/// use mpise_core::xmul::{Xmul, XmulOp};
+/// let u = Xmul::new();
+/// assert_eq!(u.execute(XmulOp::Mulhu, u64::MAX, u64::MAX, 0, 0), u64::MAX - 1);
+/// assert_eq!(u.execute(XmulOp::Maddlu, 3, 4, 5, 0), 17);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Xmul;
+
+impl Xmul {
+    /// Creates the unit.
+    pub fn new() -> Self {
+        Xmul
+    }
+
+    /// Evaluates `op` on operands `x`, `y`, `z` and 6-bit immediate
+    /// `imm` by walking the datapath stages.
+    pub fn execute(&self, op: XmulOp, x: u64, y: u64, z: u64, imm: u8) -> u64 {
+        let c = control(op);
+        // Main path (128 bits, interpreted as signed for the shifts).
+        let main: i128 = match c.main {
+            MainPath::Product { x_signed, y_signed } => {
+                let xv: i128 = if x_signed { x as i64 as i128 } else { x as i128 };
+                let yv: i128 = if y_signed { y as i64 as i128 } else { y as i128 };
+                xv.wrapping_mul(yv)
+            }
+            MainPath::XZext => x as i128,
+            MainPath::YSext => y as i64 as i128,
+        };
+        // 128-bit adder.
+        let pre: i128 = match c.pre_add {
+            PreAdd::Zero => 0,
+            PreAdd::Z => z as i128,
+            PreAdd::Y => y as i128,
+        };
+        let summed = main.wrapping_add(pre);
+        // Shifter (arithmetic; only the sraiadd path ever sees a
+        // negative value here).
+        let shifted = match c.shift {
+            Shift::None => summed,
+            Shift::By57 => summed >> 57,
+            Shift::By64 => summed >> 64,
+            Shift::ByImm => summed >> (imm & 63),
+        };
+        // Mask network.
+        let masked = match c.mask {
+            Mask::Low57 => (shifted as u64) & crate::REDUCED_RADIX_MASK,
+            Mask::Low64 => shifted as u64,
+        };
+        // Final 64-bit adder.
+        let post = match c.post_add {
+            PostAdd::Zero => 0,
+            PostAdd::Z => z,
+            PostAdd::X => x,
+        };
+        masked.wrapping_add(post)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intrinsics;
+    use mpise_sim::cpu::eval_alu;
+    use mpise_sim::inst::AluOp;
+
+    const CASES: [(u64, u64, u64, u8); 8] = [
+        (0, 0, 0, 0),
+        (1, 1, 1, 1),
+        (u64::MAX, u64::MAX, u64::MAX, 57),
+        (0x1234_5678_9abc_def0, 0xfedc_ba98_7654_3210, 42, 63),
+        (1 << 63, 3, 7, 12),
+        ((1 << 57) - 1, (1 << 57) + 5, 1 << 60, 57),
+        (0xdead_beef, 0xcafe_f00d, 0x1111_2222_3333_4444, 31),
+        (u64::MAX, 1, 1, 64 - 1),
+    ];
+
+    #[test]
+    fn base_ops_match_rv64m_semantics() {
+        let u = Xmul::new();
+        for &(x, y, _, _) in &CASES {
+            assert_eq!(u.execute(XmulOp::Mul, x, y, 0, 0), eval_alu(AluOp::Mul, x, y));
+            assert_eq!(
+                u.execute(XmulOp::Mulh, x, y, 0, 0),
+                eval_alu(AluOp::Mulh, x, y)
+            );
+            assert_eq!(
+                u.execute(XmulOp::Mulhsu, x, y, 0, 0),
+                eval_alu(AluOp::Mulhsu, x, y)
+            );
+            assert_eq!(
+                u.execute(XmulOp::Mulhu, x, y, 0, 0),
+                eval_alu(AluOp::Mulhu, x, y)
+            );
+        }
+    }
+
+    #[test]
+    fn custom_ops_match_intrinsics() {
+        let u = Xmul::new();
+        for &(x, y, z, imm) in &CASES {
+            assert_eq!(
+                u.execute(XmulOp::Maddlu, x, y, z, 0),
+                intrinsics::maddlu(x, y, z)
+            );
+            assert_eq!(
+                u.execute(XmulOp::Maddhu, x, y, z, 0),
+                intrinsics::maddhu(x, y, z)
+            );
+            assert_eq!(u.execute(XmulOp::Cadd, x, y, z, 0), intrinsics::cadd(x, y, z));
+            assert_eq!(
+                u.execute(XmulOp::Madd57lu, x, y, z, 0),
+                intrinsics::madd57lu(x, y, z)
+            );
+            assert_eq!(
+                u.execute(XmulOp::Madd57hu, x, y, z, 0),
+                intrinsics::madd57hu(x, y, z)
+            );
+            assert_eq!(
+                u.execute(XmulOp::Sraiadd, x, y, 0, imm),
+                intrinsics::sraiadd(x, y, imm as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn mulh_signed_corner() {
+        let u = Xmul::new();
+        let min = i64::MIN as u64;
+        assert_eq!(u.execute(XmulOp::Mulh, min, min, 0, 0), (1u64 << 62));
+    }
+
+    #[test]
+    fn op_groups_are_disjoint_and_complete() {
+        let mut all: Vec<XmulOp> = Vec::new();
+        all.extend(XmulOp::BASE);
+        all.extend(XmulOp::FULL_RADIX);
+        all.extend(XmulOp::REDUCED_RADIX);
+        assert_eq!(all.len(), 10);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

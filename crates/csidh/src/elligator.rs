@@ -1,0 +1,166 @@
+//! Elligator-2 point sampling on Montgomery curves.
+//!
+//! The group action samples random x-coordinates and pays one Legendre
+//! symbol to learn whether each lies on the curve or its twist — on
+//! average half the samples are "wasted" when only one side is
+//! needed. Elligator 2 (as applied to CSIDH by Meyer–Reith) instead
+//! maps a field element `u` to a *pair* of x-coordinates of which
+//! provably one is on the curve and the other on the twist:
+//!
+//! ```text
+//! x₁ = −A / (1 − u²)        (projectively: X₁ = −A, Z₁ = 1 − u²)
+//! x₂ = −x₁ − A              (projectively: X₂ = −A·u², Z₂ = Z₁)
+//! ```
+//!
+//! using `z = −1` as the fixed non-square (valid because
+//! `p ≡ 3 (mod 4)`). The rhs values satisfy
+//! `rhs(x₁)·rhs(x₂) = rhs(x₁)·rhs(−x₁−A)`, which is `−u²·rhs(x₁)²`
+//! times a square — a non-square — so exactly one of the two is a
+//! square. One Legendre test yields a point on *each* side.
+//!
+//! Requires `A ≠ 0` and `u² ∉ {0, 1}`; the caller falls back to plain
+//! sampling in those (rare) cases, as the CSIDH implementations do.
+
+use crate::mont::{Curve, Point};
+use mpise_fp::Fp;
+
+/// The result of one Elligator-2 evaluation: an x-only point on the
+/// curve and one on its quadratic twist (both with the same `Z`).
+#[derive(Debug, Clone, Copy)]
+pub struct ElligatorPair<E> {
+    /// A point whose x-coordinate lies on `E_A`.
+    pub on_curve: Point<E>,
+    /// A point whose x-coordinate lies on the twist of `E_A`.
+    pub on_twist: Point<E>,
+}
+
+/// Maps `u` to a curve/twist point pair on `e` (which must have
+/// `C = 1`, i.e. an affine coefficient).
+///
+/// Returns `None` when the map is undefined: `A = 0`, `u = 0`, or
+/// `u² = 1`.
+pub fn elligator2<F: Fp>(f: &F, e: &Curve<F::Elem>, u: &F::Elem) -> Option<ElligatorPair<F::Elem>> {
+    debug_assert!(f.to_uint(&e.c) == mpise_mpi::U512::ONE, "affine coefficient required");
+    if f.is_zero(&e.a) || f.is_zero(u) {
+        return None;
+    }
+    let u2 = f.sqr(u);
+    let z = f.sub(&f.one(), &u2); // 1 − u²
+    if f.is_zero(&z) {
+        return None;
+    }
+    // x₁ = −A/(1−u²): projectively X₁ = −A, Z = 1−u².
+    let x1 = f.neg(&e.a);
+    // x₂ = −x₁ − A = A·u²/(1−u²): projectively X₂ = −A·u² ... note
+    // −x₁−A in projective form with the same Z: X₂ = −X₁ − A·Z
+    //      = A − A(1−u²) = A·u².
+    let x2 = f.mul(&e.a, &u2);
+
+    // Decide which is on the curve: rhs(x)·Z⁴-squares ⇒ test the
+    // projective value v = X·Z·(X² + A·X·Z + Z²).
+    let v = {
+        let xz = f.mul(&x1, &z);
+        let t = f.add(&f.add(&f.sqr(&x1), &f.mul(&e.a, &xz)), &f.sqr(&z));
+        f.mul(&xz, &t)
+    };
+    let x1_on_curve = f.legendre(&v) == 1;
+
+    let p1 = Point { x: x1, z };
+    let p2 = Point { x: x2, z };
+    Some(if x1_on_curve {
+        ElligatorPair {
+            on_curve: p1,
+            on_twist: p2,
+        }
+    } else {
+        ElligatorPair {
+            on_curve: p2,
+            on_twist: p1,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mont::{is_infinity, rhs, xmul};
+    use crate::scalar;
+    use mpise_fp::{Fp, FpFull};
+    use mpise_mpi::U512;
+
+    fn affine_curve(f: &FpFull, a: u64) -> Curve<<FpFull as Fp>::Elem> {
+        Curve::from_affine(f, f.from_uint(&U512::from_u64(a)))
+    }
+
+    #[test]
+    fn pair_splits_curve_and_twist() {
+        let f = FpFull::new();
+        // A = 6 is a supersingular CSIDH curve coefficient? Not
+        // necessarily — Elligator's curve/twist split works for any
+        // nonsingular Montgomery curve.
+        let e = affine_curve(&f, 6);
+        let mut checked = 0;
+        for u in 2..40u64 {
+            let u = f.from_uint(&U512::from_u64(u));
+            let Some(pair) = elligator2(&f, &e, &u) else {
+                continue;
+            };
+            // on_curve has square rhs (projectively), on_twist non-square.
+            let aff = |p: &Point<_>| f.mul(&p.x, &f.inv(&p.z));
+            let xc = aff(&pair.on_curve);
+            let xt = aff(&pair.on_twist);
+            assert_eq!(f.legendre(&rhs(&f, &e, &xc)), 1, "curve side");
+            assert_eq!(f.legendre(&rhs(&f, &e, &xt)), -1, "twist side");
+            checked += 1;
+        }
+        assert!(checked > 30);
+    }
+
+    #[test]
+    fn curve_points_have_curve_order() {
+        // On a *supersingular* curve both sides are annihilated by
+        // p+1; check for a curve produced by the group action.
+        use crate::{group_action, PrivateKey, PublicKey};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = FpFull::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut exponents = [0i8; mpise_fp::params::NUM_PRIMES];
+        exponents[0] = 1;
+        let pk = group_action(&f, &mut rng, &PublicKey::BASE, &PrivateKey { exponents });
+        let e = Curve::from_affine(&f, f.from_uint(&pk.a));
+        let u = f.from_uint(&U512::from_u64(17));
+        let pair = elligator2(&f, &e, &u).expect("A != 0 here");
+        let pp1 = scalar::p_plus_one();
+        assert!(is_infinity(&f, &xmul(&f, &e, &pair.on_curve, &pp1)));
+        assert!(is_infinity(&f, &xmul(&f, &e, &pair.on_twist, &pp1)));
+    }
+
+    #[test]
+    fn undefined_inputs_return_none() {
+        let f = FpFull::new();
+        let e0 = affine_curve(&f, 0);
+        let u = f.from_uint(&U512::from_u64(5));
+        assert!(elligator2(&f, &e0, &u).is_none(), "A = 0 unsupported");
+        let e = affine_curve(&f, 6);
+        assert!(elligator2(&f, &e, &f.zero()).is_none(), "u = 0 unsupported");
+        assert!(elligator2(&f, &e, &f.one()).is_none(), "u² = 1 unsupported");
+        assert!(
+            elligator2(&f, &e, &f.neg(&f.one())).is_none(),
+            "u = −1 unsupported"
+        );
+    }
+
+    #[test]
+    fn x2_is_minus_x1_minus_a() {
+        let f = FpFull::new();
+        let e = affine_curve(&f, 6);
+        let u = f.from_uint(&U512::from_u64(11));
+        let pair = elligator2(&f, &e, &u).unwrap();
+        let aff = |p: &Point<_>| f.mul(&p.x, &f.inv(&p.z));
+        let (x1, x2) = (aff(&pair.on_curve), aff(&pair.on_twist));
+        // x1 + x2 == -A for the Elligator pair (in either order).
+        let sum = f.add(&x1, &x2);
+        assert_eq!(f.to_uint(&sum), f.to_uint(&f.neg(&e.a)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Odd-degree Vélu isogenies in x-only Montgomery coordinates.
+//!
+//! The codomain coefficient is computed through the twisted-Edwards
+//! form (Meyer–Reith, "A faster way to the CSIDH"), as in the CSIDH
+//! reference implementation: with `a = A + 2C`, `d = A − 2C`, the
+//! image curve is `a' = a^ℓ · (∏(Xᵢ+Zᵢ))⁸`, `d' = d^ℓ · (∏(Xᵢ−Zᵢ))⁸`,
+//! where `(Xᵢ : Zᵢ)` are the first `(ℓ−1)/2` multiples of the kernel
+//! generator, and back `A' = 2(a'+d')`, `C' = a'−d'`.
+
+use crate::mont::{a24, xadd, xdbl, Curve, Point};
+use mpise_fp::Fp;
+
+/// Raises to a small public power by square-and-multiply.
+fn pow_u64<F: Fp>(f: &F, base: &F::Elem, e: u64) -> F::Elem {
+    debug_assert!(e >= 1);
+    let mut acc = *base;
+    let bits = 64 - e.leading_zeros();
+    for i in (0..bits - 1).rev() {
+        acc = f.sqr(&acc);
+        if (e >> i) & 1 == 1 {
+            acc = f.mul(&acc, base);
+        }
+    }
+    acc
+}
+
+/// Computes the degree-`l` isogeny with kernel `⟨k⟩` (where `k` has
+/// exact odd order `l ≥ 3` on `e`), returning the image curve and the
+/// image of `p`.
+///
+/// # Panics
+///
+/// Panics (debug) if `l` is even or below 3.
+pub fn isogeny<F: Fp>(
+    f: &F,
+    e: &Curve<F::Elem>,
+    p: &Point<F::Elem>,
+    k: &Point<F::Elem>,
+    l: u64,
+) -> (Curve<F::Elem>, Point<F::Elem>) {
+    debug_assert!(l >= 3 && l % 2 == 1, "degree must be odd and >= 3");
+
+    // Twisted-Edwards form of the domain: a = A+2C, d = A-2C.
+    let c2 = f.add(&e.c, &e.c);
+    let ed_a = f.add(&e.a, &c2);
+    let ed_d = f.sub(&e.a, &c2);
+
+    let p_sum = f.add(&p.x, &p.z);
+    let p_dif = f.sub(&p.x, &p.z);
+
+    // First multiple: K itself.
+    let mut prod_minus = f.sub(&k.x, &k.z); // ∏ (X_i − Z_i)
+    let mut prod_plus = f.add(&k.x, &k.z); // ∏ (X_i + Z_i)
+    let t1 = f.mul(&prod_minus, &p_sum);
+    let t0 = f.mul(&prod_plus, &p_dif);
+    let mut q_x = f.add(&t0, &t1);
+    let mut q_z = f.sub(&t0, &t1);
+
+    // Remaining multiples [2]K .. [(l-1)/2]K via a differential chain.
+    let half = ((l - 1) / 2) as usize;
+    if half >= 2 {
+        let (a24_plus, c24) = a24(f, e);
+        let mut m_prev = *k; // [i-1]K
+        let mut m_cur = xdbl(f, k, &a24_plus, &c24); // [i]K, starting at [2]K
+        for i in 2..=half {
+            let t_minus = f.sub(&m_cur.x, &m_cur.z);
+            let t_plus = f.add(&m_cur.x, &m_cur.z);
+            prod_minus = f.mul(&prod_minus, &t_minus);
+            prod_plus = f.mul(&prod_plus, &t_plus);
+            let t1 = f.mul(&t_minus, &p_sum);
+            let t0 = f.mul(&t_plus, &p_dif);
+            q_x = f.mul(&q_x, &f.add(&t0, &t1));
+            q_z = f.mul(&q_z, &f.sub(&t0, &t1));
+            if i < half {
+                let next = xadd(f, &m_cur, k, &m_prev);
+                m_prev = m_cur;
+                m_cur = next;
+            }
+        }
+    }
+
+    // Image of P: (X·(∏…)² : Z·(∏…)²).
+    let q_x = f.sqr(&q_x);
+    let q_z = f.sqr(&q_z);
+    let img = Point {
+        x: f.mul(&p.x, &q_x),
+        z: f.mul(&p.z, &q_z),
+    };
+
+    // Codomain via Edwards: a' = a^l·π₊⁸, d' = d^l·π₋⁸.
+    let ed_a = pow_u64(f, &ed_a, l);
+    let ed_d = pow_u64(f, &ed_d, l);
+    let pi_plus8 = f.sqr(&f.sqr(&f.sqr(&prod_plus)));
+    let pi_minus8 = f.sqr(&f.sqr(&f.sqr(&prod_minus)));
+    let ed_a = f.mul(&ed_a, &pi_plus8);
+    let ed_d = f.mul(&ed_d, &pi_minus8);
+
+    // Back to Montgomery: A' = 2(a'+d'), C' = a'−d'.
+    let sum = f.add(&ed_a, &ed_d);
+    let image_curve = Curve {
+        a: f.add(&sum, &sum),
+        c: f.sub(&ed_a, &ed_d),
+    };
+    (image_curve, img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mont::{is_infinity, rhs, xmul};
+    use crate::scalar;
+    use mpise_fp::params::PRIMES;
+    use mpise_fp::{Fp, FpFull};
+    use mpise_mpi::U512;
+
+    fn find_order_l_point<F: Fp>(
+        f: &F,
+        e: &Curve<F::Elem>,
+        l_index: usize,
+    ) -> Point<F::Elem> {
+        // [(p+1)/l] of a random on-curve point has order 1 or l; retry
+        // until it is non-trivial.
+        let cof = scalar::four_times_product((0..PRIMES.len()).filter(|&j| j != l_index));
+        for seed in 2..100u64 {
+            let x = f.from_uint(&U512::from_u64(seed));
+            if f.legendre(&rhs(f, e, &x)) != 1 {
+                continue;
+            }
+            let pt = Point { x, z: f.one() };
+            let k = xmul(f, e, &pt, &cof);
+            if !is_infinity(f, &k) {
+                return k;
+            }
+        }
+        panic!("no order-{} point found", PRIMES[l_index]);
+    }
+
+    #[test]
+    fn kernel_point_has_exact_order() {
+        let f = FpFull::new();
+        let e = Curve::from_affine(&f, f.zero());
+        let k = find_order_l_point(&f, &e, 0); // l = 3
+        let three = xmul(&f, &e, &k, &U512::from_u64(3));
+        assert!(is_infinity(&f, &three));
+        assert!(!is_infinity(&f, &k));
+    }
+
+    #[test]
+    fn isogeny_3_produces_supersingular_curve() {
+        let f = FpFull::new();
+        let e = Curve::from_affine(&f, f.zero());
+        let k = find_order_l_point(&f, &e, 0);
+        // Push some independent point through.
+        let p = Point {
+            x: f.from_uint(&U512::from_u64(12345)),
+            z: f.one(),
+        };
+        let (e2, img) = isogeny(&f, &e, &p, &k, 3);
+        assert!(!f.is_zero(&e2.c), "degenerate codomain");
+        // The image point still has order dividing p+1 on the new
+        // curve (supersingularity is preserved by isogenies).
+        let pp1 = scalar::p_plus_one();
+        let r = xmul(&f, &e2, &img, &pp1);
+        assert!(is_infinity(&f, &r));
+    }
+
+    #[test]
+    fn isogeny_larger_degrees() {
+        let f = FpFull::new();
+        let e = Curve::from_affine(&f, f.zero());
+        for (idx, l) in [(1usize, 5u64), (2, 7), (73, 587)] {
+            let k = find_order_l_point(&f, &e, idx);
+            let p = Point {
+                x: f.from_uint(&U512::from_u64(777)),
+                z: f.one(),
+            };
+            let (e2, img) = isogeny(&f, &e, &p, &k, l);
+            let pp1 = scalar::p_plus_one();
+            assert!(
+                is_infinity(&f, &xmul(&f, &e2, &img, &pp1)),
+                "degree {l}: image not annihilated by p+1"
+            );
+            // The kernel must die: the image of K itself is infinity.
+            let (_, k_img) = isogeny(&f, &e, &k, &k, l);
+            assert!(is_infinity(&f, &k_img), "degree {l}: kernel survives");
+        }
+    }
+
+    #[test]
+    fn image_order_drops_by_l() {
+        // If P has order l·m, its image has order m.
+        let f = FpFull::new();
+        let e = Curve::from_affine(&f, f.zero());
+        // P of order 3·5: clear all primes but 3 and 5.
+        let cof = scalar::four_times_product((0..PRIMES.len()).filter(|&j| j != 0 && j != 1));
+        let mut p15 = None;
+        for seed in 2..200u64 {
+            let x = f.from_uint(&U512::from_u64(seed));
+            if f.legendre(&rhs(&f, &e, &x)) != 1 {
+                continue;
+            }
+            let pt = Point { x, z: f.one() };
+            let q = xmul(&f, &e, &pt, &cof);
+            // Order divides 15; require exactly 15.
+            let q3 = xmul(&f, &e, &q, &U512::from_u64(3));
+            let q5 = xmul(&f, &e, &q, &U512::from_u64(5));
+            if !is_infinity(&f, &q3) && !is_infinity(&f, &q5) {
+                p15 = Some(q);
+                break;
+            }
+        }
+        let p15 = p15.expect("point of order 15");
+        // Kernel = [5]P (order 3).
+        let k = xmul(&f, &e, &p15, &U512::from_u64(5));
+        let (e2, img) = isogeny(&f, &e, &p15, &k, 3);
+        // Image has order exactly 5.
+        assert!(!is_infinity(&f, &img));
+        let i5 = xmul(&f, &e2, &img, &U512::from_u64(5));
+        assert!(is_infinity(&f, &i5));
+    }
+
+    #[test]
+    fn pow_u64_small_cases() {
+        let f = FpFull::new();
+        let three = f.from_uint(&U512::from_u64(3));
+        assert_eq!(f.to_uint(&pow_u64(&f, &three, 1)), U512::from_u64(3));
+        assert_eq!(f.to_uint(&pow_u64(&f, &three, 4)), U512::from_u64(81));
+        assert_eq!(f.to_uint(&pow_u64(&f, &three, 7)), U512::from_u64(2187));
+    }
+}

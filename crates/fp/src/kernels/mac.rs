@@ -1,0 +1,181 @@
+//! The four MAC micro-kernels of Listings 1–4 and the two
+//! carry-propagation sequences of §3.2, as standalone programs.
+//!
+//! These exist to reproduce the instruction-count claims of the paper
+//! (8 → 4 for the full-radix MAC, 6 → 2 for the reduced-radix MAC,
+//! 3 → 2 for the final carry propagation) and to measure the latency
+//! of each snippet in isolation.
+
+use mpise_core::full_radix::{CADD, MADDHU, MADDLU};
+use mpise_core::reduced_radix::{MADD57HU, MADD57LU, SRAIADD};
+use mpise_sim::asm::{Assembler, Program};
+use mpise_sim::Reg;
+
+/// Operand/accumulator register convention shared by all MAC snippets:
+/// `a = a0`, `b = a1`, `l = a2`, `h = a3`, `e = a4`; temporaries
+/// `y = a5`, `z = a6`.
+pub const A: Reg = Reg::A0;
+/// Second multiplicand.
+pub const B: Reg = Reg::A1;
+/// Accumulator low word.
+pub const ACC_L: Reg = Reg::A2;
+/// Accumulator high word.
+pub const ACC_H: Reg = Reg::A3;
+/// Accumulator extra word (full-radix only).
+pub const ACC_E: Reg = Reg::A4;
+const Y: Reg = Reg::A5;
+const Z: Reg = Reg::A6;
+
+/// Listing 1: ISA-only full-radix MAC,
+/// `(e ‖ h ‖ l) ← (e ‖ h ‖ l) + a·b`. Exactly 8 instructions.
+pub fn listing1_full_isa() -> Program {
+    let mut asm = Assembler::new();
+    asm.mulhu(Z, A, B);
+    asm.mul(Y, A, B);
+    asm.add(ACC_L, ACC_L, Y);
+    asm.sltu(Y, ACC_L, Y);
+    asm.add(Z, Z, Y);
+    asm.add(ACC_H, ACC_H, Z);
+    asm.sltu(Z, ACC_H, Z);
+    asm.add(ACC_E, ACC_E, Z);
+    asm.finish()
+}
+
+/// Listing 2: ISA-only reduced-radix MAC,
+/// `(h ‖ l) ← (h ‖ l) + a·b`. Exactly 6 instructions.
+pub fn listing2_red_isa() -> Program {
+    let mut asm = Assembler::new();
+    asm.mulhu(Z, A, B);
+    asm.mul(Y, A, B);
+    asm.add(ACC_L, ACC_L, Y);
+    asm.sltu(Y, ACC_L, Y);
+    asm.add(Z, Z, Y);
+    asm.add(ACC_H, ACC_H, Z);
+    asm.finish()
+}
+
+/// Listing 3: ISE-supported full-radix MAC. Exactly 4 instructions.
+pub fn listing3_full_ise() -> Program {
+    let mut asm = Assembler::new();
+    asm.custom_r4(MADDHU, Z, A, B, ACC_L);
+    asm.custom_r4(MADDLU, ACC_L, A, B, ACC_L);
+    asm.custom_r4(CADD, ACC_E, ACC_H, Z, ACC_E);
+    asm.add(ACC_H, ACC_H, Z);
+    asm.finish()
+}
+
+/// Listing 4: ISE-supported reduced-radix MAC. Exactly 2 instructions.
+pub fn listing4_red_ise() -> Program {
+    let mut asm = Assembler::new();
+    asm.custom_r4(MADD57HU, ACC_H, A, B, ACC_H);
+    asm.custom_r4(MADD57LU, ACC_L, A, B, ACC_L);
+    asm.finish()
+}
+
+/// ISA-only carry propagation from limb `x = a0` into limb `y = a1`
+/// with mask register `m = a2`: `srai z,x,57 ; add y,y,z ; and x,x,m`.
+/// 3 instructions.
+pub fn carry_prop_isa() -> Program {
+    let mut asm = Assembler::new();
+    asm.srai(Z, Reg::A0, 57);
+    asm.add(Reg::A1, Reg::A1, Z);
+    asm.and(Reg::A0, Reg::A0, Reg::A2);
+    asm.finish()
+}
+
+/// ISE-supported carry propagation:
+/// `sraiadd y,y,x,57 ; and x,x,m`. 2 instructions.
+pub fn carry_prop_ise() -> Program {
+    let mut asm = Assembler::new();
+    asm.custom_shamt(SRAIADD, Reg::A1, Reg::A1, Reg::A0, 57);
+    asm.and(Reg::A0, Reg::A0, Reg::A2);
+    asm.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpise_core::{full_radix_ext, reduced_radix_ext};
+    use mpise_sim::Machine;
+
+    fn run_mac(prog: &Program, ext: mpise_sim::ext::IsaExtension, regs: &[(Reg, u64)]) -> Machine {
+        // Append an ebreak so the machine halts after the snippet.
+        let mut insts = prog.insts().to_vec();
+        insts.push(mpise_sim::Inst::Ebreak);
+        let mut m = Machine::with_ext(ext);
+        m.load_program(&Program::from_insts(insts));
+        for &(r, v) in regs {
+            m.cpu.write_reg(r, v);
+        }
+        m.run().unwrap();
+        m
+    }
+
+    #[test]
+    fn instruction_counts_match_the_paper() {
+        assert_eq!(listing1_full_isa().len(), 8);
+        assert_eq!(listing2_red_isa().len(), 6);
+        assert_eq!(listing3_full_ise().len(), 4);
+        assert_eq!(listing4_red_ise().len(), 2);
+        assert_eq!(carry_prop_isa().len(), 3);
+        assert_eq!(carry_prop_ise().len(), 2);
+    }
+
+    #[test]
+    fn listing1_and_listing3_agree() {
+        let cases = [
+            (3u64, 4u64, 5u64, 6u64, 7u64),
+            (u64::MAX, u64::MAX, u64::MAX, u64::MAX, 0),
+            (0xdead_beef_cafe_f00d, 0x0123_4567_89ab_cdef, 1, 2, 3),
+        ];
+        for (av, bv, l0, h0, e0) in cases {
+            let regs = [(A, av), (B, bv), (ACC_L, l0), (ACC_H, h0), (ACC_E, e0)];
+            let m1 = run_mac(&listing1_full_isa(), mpise_sim::ext::IsaExtension::new("none"), &regs);
+            let m3 = run_mac(&listing3_full_ise(), full_radix_ext(), &regs);
+            for r in [ACC_L, ACC_H, ACC_E] {
+                assert_eq!(m1.cpu.read_reg(r), m3.cpu.read_reg(r), "reg {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing2_and_listing4_agree_on_aligned_view() {
+        // Listing 2 accumulates (h||l) as a 128-bit value; Listing 4
+        // keeps l as "sum of low-57 parts" and h as "sum of >>57
+        // parts". Their *values* agree: l4 + (h4 << 57) == l2 + (h2<<64).
+        let a = (1u64 << 57) - 3;
+        let b = (1u64 << 56) + 12345;
+        let (l0, h0) = (99u64, 7u64);
+        let regs2 = [(A, a), (B, b), (ACC_L, l0), (ACC_H, h0)];
+        let m2 = run_mac(&listing2_red_isa(), mpise_sim::ext::IsaExtension::new("none"), &regs2);
+        // For the aligned comparison give listing 4 the same starting
+        // value expressed in its representation: l = l0, h = h0<<7
+        // (h0 counts 2^64 units = 2^7 units of 2^57).
+        let regs4 = [(A, a), (B, b), (ACC_L, l0), (ACC_H, h0 << 7)];
+        let m4 = run_mac(&listing4_red_ise(), reduced_radix_ext(), &regs4);
+        let v2 = (m2.cpu.read_reg(ACC_H) as u128) << 64 | m2.cpu.read_reg(ACC_L) as u128;
+        let v4 = ((m4.cpu.read_reg(ACC_H) as u128) << 57) + m4.cpu.read_reg(ACC_L) as u128;
+        assert_eq!(v2, v4);
+    }
+
+    #[test]
+    fn carry_props_agree() {
+        let x = (5u64 << 57) | 0x1234;
+        let y = 77u64;
+        let mask = (1u64 << 57) - 1;
+        let mi = run_mac(
+            &carry_prop_isa(),
+            mpise_sim::ext::IsaExtension::new("none"),
+            &[(Reg::A0, x), (Reg::A1, y), (Reg::A2, mask)],
+        );
+        let me = run_mac(
+            &carry_prop_ise(),
+            reduced_radix_ext(),
+            &[(Reg::A0, x), (Reg::A1, y), (Reg::A2, mask)],
+        );
+        assert_eq!(mi.cpu.read_reg(Reg::A0), me.cpu.read_reg(Reg::A0));
+        assert_eq!(mi.cpu.read_reg(Reg::A1), me.cpu.read_reg(Reg::A1));
+        assert_eq!(mi.cpu.read_reg(Reg::A1), 77 + 5);
+        assert_eq!(mi.cpu.read_reg(Reg::A0), 0x1234);
+    }
+}

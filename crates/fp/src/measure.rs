@@ -1,0 +1,379 @@
+//! Kernel execution and cycle measurement on the Rocket pipeline model.
+//!
+//! This module is the software-evaluation harness of §4: it loads each
+//! generated kernel into a simulated machine, validates its result
+//! against the host backends on random inputs, checks the
+//! constant-time property (identical cycle counts across inputs), and
+//! reports the cycle counts that populate Table 4.
+
+use crate::kernels::{const_pool_full, const_pool_red, Config, KernelSet, OpKind, Radix};
+use crate::params::{Csidh512, FULL_LIMBS, RED_LIMBS};
+use mpise_mpi::reference::RefInt;
+use mpise_mpi::{mul as mpi_mul, Reduced, U512};
+use mpise_sim::machine::DATA_BASE;
+use mpise_sim::{Machine, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Memory layout offsets (relative to [`DATA_BASE`]).
+const RESULT_OFF: u64 = 0x000;
+const OP1_OFF: u64 = 0x100;
+const OP2_OFF: u64 = 0x200;
+const CONST_OFF: u64 = 0x300;
+
+/// Executes the kernels of one configuration.
+#[derive(Debug)]
+pub struct KernelRunner {
+    /// The configuration being run.
+    pub config: Config,
+    machines: BTreeMap<OpKind, Machine>,
+}
+
+impl KernelRunner {
+    /// Builds machines (with the right ISA extension and constant pool)
+    /// for every kernel of `config`.
+    pub fn new(config: Config) -> Self {
+        let set = KernelSet::build(config);
+        let pool = match config.radix {
+            Radix::Full => const_pool_full(),
+            Radix::Reduced => const_pool_red(),
+        };
+        let mut machines = BTreeMap::new();
+        for (op, prog) in set.iter() {
+            let mut m = Machine::with_ext(config.extension());
+            m.load_program(prog);
+            m.mem
+                .write_limbs(DATA_BASE + CONST_OFF, &pool)
+                .expect("constant pool fits");
+            machines.insert(op, m);
+        }
+        KernelRunner { config, machines }
+    }
+
+    /// Runs one kernel on the given operand word arrays; returns the
+    /// result words and the cycle count of the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel traps — generated kernels are straight-line
+    /// and must not fault.
+    pub fn run(&mut self, op: OpKind, inputs: &[&[u64]]) -> (Vec<u64>, u64) {
+        assert_eq!(inputs.len(), op.arity(), "wrong operand count for {op:?}");
+        let (_, out_words) = op.shape(&self.config);
+        let m = self.machines.get_mut(&op).expect("kernel exists");
+        m.mem
+            .write_limbs(DATA_BASE + OP1_OFF, inputs[0])
+            .expect("operand fits");
+        if inputs.len() > 1 {
+            m.mem
+                .write_limbs(DATA_BASE + OP2_OFF, inputs[1])
+                .expect("operand fits");
+        }
+        let stats = m
+            .call(&[
+                (Reg::A0, DATA_BASE + RESULT_OFF),
+                (Reg::A1, DATA_BASE + OP1_OFF),
+                (Reg::A2, DATA_BASE + OP2_OFF),
+                (Reg::A3, DATA_BASE + CONST_OFF),
+            ])
+            .unwrap_or_else(|e| panic!("{:?} kernel trapped: {e}", op));
+        let out = m
+            .mem
+            .read_limbs(DATA_BASE + RESULT_OFF, out_words)
+            .expect("result readable");
+        (out, stats.cycles)
+    }
+}
+
+/// The measured cost of one Table 4 operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMeasurement {
+    /// The operation.
+    pub op: OpKind,
+    /// Cycles per call on the Rocket pipeline model.
+    pub cycles: u64,
+}
+
+/// Generates a random canonical residue (`< p`) in the word layout of
+/// `radix`.
+fn random_residue(rng: &mut StdRng, radix: Radix) -> Vec<u64> {
+    let c = Csidh512::get();
+    let v = loop {
+        let cand = U512::from_limbs(std::array::from_fn(|_| rng.gen()));
+        // Clear the top bit so cand < 2^511; then reject >= p.
+        let cand = cand.and(&U512::MAX.shr(1));
+        if cand < c.p {
+            break cand;
+        }
+    };
+    match radix {
+        Radix::Full => v.limbs().to_vec(),
+        Radix::Reduced => Reduced::<RED_LIMBS>::from_uint(&v).limbs().to_vec(),
+    }
+}
+
+fn words_to_refint(words: &[u64], radix: Radix) -> RefInt {
+    match radix {
+        Radix::Full => RefInt::from_limbs(words),
+        Radix::Reduced => {
+            let mut acc = RefInt::zero();
+            for (i, &w) in words.iter().enumerate() {
+                acc = acc.add(&RefInt::from_limbs(&[w]).shl(57 * i));
+            }
+            acc
+        }
+    }
+}
+
+/// Computes the expected result of `op` on `inputs` using the host
+/// arithmetic, as (value, modulus-to-compare-under).
+///
+/// `MontRedc` results are only defined modulo `p` (kernels return
+/// `[0, 2p)`), so those are compared mod `p`; everything else must
+/// match exactly.
+fn expected(op: OpKind, config: &Config, inputs: &[&[u64]]) -> (RefInt, Option<RefInt>) {
+    let c = Csidh512::get();
+    let rp = RefInt::from_limbs(c.p.limbs());
+    let radix = config.radix;
+    let a_int = words_to_refint(inputs[0], radix);
+    match op {
+        OpKind::IntMul => {
+            let b_int = words_to_refint(inputs[1], radix);
+            (a_int.mul(&b_int), None)
+        }
+        OpKind::IntSqr => (a_int.mul(&a_int), None),
+        OpKind::MontRedc => {
+            // result * R ≡ t (mod p), result in [0, 2p)
+            let r_bits = match radix {
+                Radix::Full => 64 * FULL_LIMBS,
+                Radix::Reduced => 57 * RED_LIMBS,
+            };
+            // Compute t * R^{-1} mod p via: find x with x*R ≡ t.
+            // x = t * Rinv mod p; Rinv = R^(p-2)?? Simpler: use host
+            // Montgomery contexts through the integer route:
+            let t = a_int;
+            // x = t * (R^{-1} mod p) mod p, computed as
+            // t * R^{p-2 mod ...}: cheaper: x = (t * R_inv) where
+            // R_inv = modpow(R, p-2, p).
+            let r_big = RefInt::one().shl(r_bits);
+            let pm2 = RefInt::from_limbs(c.p_minus_2.limbs());
+            let r_inv = r_big.powmod(&pm2, &rp);
+            (t.mulmod(&r_inv, &rp), Some(rp))
+        }
+        OpKind::FastReduce => (a_int.rem(&rp), None),
+        OpKind::FpAdd => {
+            let b_int = words_to_refint(inputs[1], radix);
+            (a_int.add(&b_int).rem(&rp), None)
+        }
+        OpKind::FpSub => {
+            let b_int = words_to_refint(inputs[1], radix);
+            (a_int.add(&rp).sub(&b_int).rem(&rp), None)
+        }
+        OpKind::FpMul => {
+            // Montgomery-domain multiply: a*b*R^{-1} mod p, canonical.
+            let b_int = words_to_refint(inputs[1], radix);
+            let r_bits = match radix {
+                Radix::Full => 64 * FULL_LIMBS,
+                Radix::Reduced => 57 * RED_LIMBS,
+            };
+            let r_big = RefInt::one().shl(r_bits);
+            let pm2 = RefInt::from_limbs(c.p_minus_2.limbs());
+            let r_inv = r_big.powmod(&pm2, &rp);
+            (a_int.mulmod(&b_int, &rp).mulmod(&r_inv, &rp), None)
+        }
+        OpKind::FpSqr => {
+            let r_bits = match radix {
+                Radix::Full => 64 * FULL_LIMBS,
+                Radix::Reduced => 57 * RED_LIMBS,
+            };
+            let r_big = RefInt::one().shl(r_bits);
+            let pm2 = RefInt::from_limbs(c.p_minus_2.limbs());
+            let r_inv = r_big.powmod(&pm2, &rp);
+            (a_int.mulmod(&a_int, &rp).mulmod(&r_inv, &rp), None)
+        }
+    }
+}
+
+/// Generates valid random inputs for `op`.
+fn random_inputs(rng: &mut StdRng, op: OpKind, config: &Config) -> Vec<Vec<u64>> {
+    let radix = config.radix;
+    let c = Csidh512::get();
+    match op {
+        OpKind::IntMul | OpKind::FpAdd | OpKind::FpSub | OpKind::FpMul => vec![
+            random_residue(rng, radix),
+            random_residue(rng, radix),
+        ],
+        OpKind::IntSqr | OpKind::FpSqr => vec![random_residue(rng, radix)],
+        OpKind::FastReduce => {
+            // Value in [0, 2p): residue plus possibly p.
+            let a = random_residue(rng, radix);
+            if rng.gen::<bool>() {
+                let v = words_to_refint(&a, radix).add(&RefInt::from_limbs(c.p.limbs()));
+                let words = match radix {
+                    Radix::Full => v.to_limbs(FULL_LIMBS),
+                    Radix::Reduced => Reduced::<RED_LIMBS>::from_uint(&U512::from_limbs(
+                        v.to_limbs(FULL_LIMBS).try_into().expect("8 limbs"),
+                    ))
+                    .limbs()
+                    .to_vec(),
+                };
+                vec![words]
+            } else {
+                vec![a]
+            }
+        }
+        OpKind::MontRedc => {
+            // A double-length product of two residues.
+            let a = random_residue(rng, radix);
+            let b = random_residue(rng, radix);
+            match radix {
+                Radix::Full => {
+                    let ua = U512::from_limbs(a.as_slice().try_into().expect("8 limbs"));
+                    let ub = U512::from_limbs(b.as_slice().try_into().expect("8 limbs"));
+                    let (lo, hi) = mpi_mul::mul_ps(&ua, &ub);
+                    let mut t = lo.limbs().to_vec();
+                    t.extend_from_slice(hi.limbs());
+                    vec![t]
+                }
+                Radix::Reduced => {
+                    let mut t = vec![0u64; 2 * RED_LIMBS];
+                    mpise_mpi::reduced::mul_ps_slices_57(&a, &b, &mut t);
+                    vec![t]
+                }
+            }
+        }
+    }
+}
+
+/// Validates one kernel on `iterations` random inputs and returns its
+/// (constant) cycle count.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch: wrong value, value out
+/// of canonical range, or input-dependent timing.
+pub fn validate_and_measure(
+    runner: &mut KernelRunner,
+    op: OpKind,
+    iterations: usize,
+    seed: u64,
+) -> Result<u64, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = runner.config;
+    let mut cycles_seen: Option<u64> = None;
+    for it in 0..iterations {
+        let inputs = random_inputs(&mut rng, op, &config);
+        let input_refs: Vec<&[u64]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let (out, cycles) = runner.run(op, &input_refs);
+        let got = words_to_refint(&out, config.radix);
+        let (want, modulus) = expected(op, &config, &input_refs);
+        let ok = match &modulus {
+            None => got == want,
+            Some(m) => got.rem(m) == want.rem(m) && got.cmp_ref(&m.add(m)) == std::cmp::Ordering::Less,
+        };
+        if !ok {
+            return Err(format!(
+                "{config}: {op:?} wrong result on iteration {it}"
+            ));
+        }
+        match cycles_seen {
+            None => cycles_seen = Some(cycles),
+            Some(c) if c != cycles => {
+                return Err(format!(
+                    "{config}: {op:?} is not constant-time ({c} vs {cycles} cycles)"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(cycles_seen.expect("at least one iteration"))
+}
+
+/// Measures all eight Table 4 operations for one configuration,
+/// validating each against the host arithmetic.
+///
+/// # Panics
+///
+/// Panics on any validation failure (a kernel bug).
+pub fn measure_config(config: Config, iterations: usize) -> Vec<OpMeasurement> {
+    let mut runner = KernelRunner::new(config);
+    OpKind::ALL
+        .iter()
+        .map(|&op| {
+            let cycles = validate_and_measure(&mut runner, op, iterations, 0xC51D + op as u64)
+                .unwrap_or_else(|e| panic!("{e}"));
+            OpMeasurement { op, cycles }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_isa_kernels_validate() {
+        let mut runner = KernelRunner::new(Config::ALL[0]);
+        for op in OpKind::ALL {
+            validate_and_measure(&mut runner, op, 3, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_ise_kernels_validate() {
+        let mut runner = KernelRunner::new(Config::ALL[1]);
+        for op in OpKind::ALL {
+            validate_and_measure(&mut runner, op, 3, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn red_isa_kernels_validate() {
+        let mut runner = KernelRunner::new(Config::ALL[2]);
+        for op in OpKind::ALL {
+            validate_and_measure(&mut runner, op, 3, 3).unwrap();
+        }
+    }
+
+    #[test]
+    fn red_ise_kernels_validate() {
+        let mut runner = KernelRunner::new(Config::ALL[3]);
+        for op in OpKind::ALL {
+            validate_and_measure(&mut runner, op, 3, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn ise_is_faster_where_it_matters() {
+        // The headline shape of Table 4 at the kernel level.
+        let isa = measure_config(Config::ALL[0], 2);
+        let ise = measure_config(Config::ALL[1], 2);
+        let red_isa = measure_config(Config::ALL[2], 2);
+        let red_ise = measure_config(Config::ALL[3], 2);
+        let get = |v: &[OpMeasurement], op: OpKind| {
+            v.iter().find(|m| m.op == op).expect("measured").cycles
+        };
+        for op in [OpKind::IntMul, OpKind::IntSqr, OpKind::MontRedc, OpKind::FpMul, OpKind::FpSqr] {
+            assert!(
+                get(&ise, op) < get(&isa, op),
+                "{op:?}: full ISE {} !< ISA {}",
+                get(&ise, op),
+                get(&isa, op)
+            );
+            assert!(
+                get(&red_ise, op) < get(&red_isa, op),
+                "{op:?}: red ISE {} !< ISA {}",
+                get(&red_ise, op),
+                get(&red_isa, op)
+            );
+        }
+        // With ISEs, reduced radix overtakes full radix on Fp-mul/sqr
+        // (§4: "the reduced-radix multiplication and squaring in Fp
+        // become faster than the full-radix versions").
+        assert!(get(&red_ise, OpKind::FpMul) < get(&ise, OpKind::FpMul));
+        assert!(get(&red_ise, OpKind::FpSqr) < get(&ise, OpKind::FpSqr));
+        // ISA-only: full radix wins on Fp-mul (§4).
+        assert!(get(&isa, OpKind::FpMul) < get(&red_isa, OpKind::FpMul));
+    }
+}

@@ -1,0 +1,271 @@
+//! A field backend that executes every operation on the simulator.
+//!
+//! [`SimFp`] implements [`Fp`] by running the generated kernels of one
+//! configuration on the Rocket pipeline model for every `add`, `sub`,
+//! `mul` and `sqr`, accumulating the total simulated cycle count. With
+//! it, the entire CSIDH group action runs "on" the simulated core —
+//! the direct-mode reproduction of the last row of Table 4 (the
+//! op-count × per-op-cost estimate is the fast mode; both are reported
+//! in EXPERIMENTS.md).
+
+use crate::backend::Fp;
+use crate::kernels::{Config, OpKind, Radix};
+use crate::measure::KernelRunner;
+use crate::params::{Csidh512, FULL_LIMBS, RED_LIMBS};
+use mpise_mpi::{Reduced, U512};
+use std::cell::{Cell, RefCell};
+
+/// Element representation: the kernel word layout padded to the
+/// maximum limb count (reduced-radix uses all 9 words, full-radix the
+/// first 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimElem {
+    words: [u64; RED_LIMBS],
+}
+
+/// Simulator-backed CSIDH-512 field (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use mpise_fp::simfp::SimFp;
+/// use mpise_fp::kernels::Config;
+/// use mpise_fp::Fp;
+/// use mpise_mpi::U512;
+///
+/// let f = SimFp::new(Config::ALL[3]); // reduced-radix, ISE-supported
+/// let a = f.from_uint(&U512::from_u64(6));
+/// let b = f.from_uint(&U512::from_u64(7));
+/// assert_eq!(f.to_uint(&f.mul(&a, &b)), U512::from_u64(42));
+/// assert!(f.cycles() > 0);
+/// ```
+#[derive(Debug)]
+pub struct SimFp {
+    config: Config,
+    runner: RefCell<KernelRunner>,
+    cycles: Cell<u64>,
+    calls: Cell<u64>,
+}
+
+impl SimFp {
+    /// Builds the simulator backend for one configuration.
+    pub fn new(config: Config) -> Self {
+        SimFp {
+            config,
+            runner: RefCell::new(KernelRunner::new(config)),
+            cycles: Cell::new(0),
+            calls: Cell::new(0),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Total simulated cycles spent in field kernels so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.get()
+    }
+
+    /// Total kernel calls so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Resets the cycle and call counters.
+    pub fn reset(&self) {
+        self.cycles.set(0);
+        self.calls.set(0);
+    }
+
+    fn words(&self) -> usize {
+        self.config.elem_words()
+    }
+
+    fn run2(&self, op: OpKind, a: &SimElem, b: &SimElem) -> SimElem {
+        let n = self.words();
+        let mut runner = self.runner.borrow_mut();
+        let (out, cycles) = runner.run(op, &[&a.words[..n], &b.words[..n]]);
+        self.cycles.set(self.cycles.get() + cycles);
+        self.calls.set(self.calls.get() + 1);
+        let mut words = [0u64; RED_LIMBS];
+        words[..n].copy_from_slice(&out);
+        SimElem { words }
+    }
+
+    fn run1(&self, op: OpKind, a: &SimElem) -> SimElem {
+        let n = self.words();
+        let mut runner = self.runner.borrow_mut();
+        let (out, cycles) = runner.run(op, &[&a.words[..n]]);
+        self.cycles.set(self.cycles.get() + cycles);
+        self.calls.set(self.calls.get() + 1);
+        let mut words = [0u64; RED_LIMBS];
+        words[..n].copy_from_slice(&out);
+        SimElem { words }
+    }
+
+    fn pack(&self, v: &U512) -> SimElem {
+        let mut words = [0u64; RED_LIMBS];
+        match self.config.radix {
+            Radix::Full => words[..FULL_LIMBS].copy_from_slice(v.limbs()),
+            Radix::Reduced => {
+                words.copy_from_slice(Reduced::<RED_LIMBS>::from_uint(v).limbs());
+            }
+        }
+        SimElem { words }
+    }
+
+    fn unpack(&self, e: &SimElem) -> U512 {
+        match self.config.radix {
+            Radix::Full => {
+                let mut limbs = [0u64; FULL_LIMBS];
+                limbs.copy_from_slice(&e.words[..FULL_LIMBS]);
+                U512::from_limbs(limbs)
+            }
+            Radix::Reduced => Reduced::<RED_LIMBS>::from_limbs(e.words).to_uint(),
+        }
+    }
+}
+
+impl Fp for SimFp {
+    type Elem = SimElem;
+
+    fn zero(&self) -> SimElem {
+        SimElem {
+            words: [0; RED_LIMBS],
+        }
+    }
+
+    fn one(&self) -> SimElem {
+        // Montgomery form of 1 for the matching radix.
+        let c = Csidh512::get();
+        match self.config.radix {
+            Radix::Full => self.pack(c.mont.one()),
+            Radix::Reduced => {
+                let mut words = [0u64; RED_LIMBS];
+                words.copy_from_slice(c.mont57.one().limbs());
+                SimElem { words }
+            }
+        }
+    }
+
+    fn from_uint(&self, v: &U512) -> SimElem {
+        // Host-side conversion into the Montgomery domain (the paper's
+        // high-level C code performs conversions outside the measured
+        // assembler kernels too).
+        let c = Csidh512::get();
+        match self.config.radix {
+            Radix::Full => self.pack(&c.mont.to_mont(v)),
+            Radix::Reduced => {
+                let m = c.mont57.to_mont(&Reduced::from_uint(v));
+                let mut words = [0u64; RED_LIMBS];
+                words.copy_from_slice(m.limbs());
+                SimElem { words }
+            }
+        }
+    }
+
+    fn to_uint(&self, a: &SimElem) -> U512 {
+        let c = Csidh512::get();
+        match self.config.radix {
+            Radix::Full => c.mont.from_mont(&self.unpack(a)),
+            Radix::Reduced => {
+                let mut limbs = [0u64; RED_LIMBS];
+                limbs.copy_from_slice(&a.words);
+                c.mont57
+                    .from_mont(&Reduced::from_limbs(limbs))
+                    .to_uint::<FULL_LIMBS>()
+            }
+        }
+    }
+
+    fn add(&self, a: &SimElem, b: &SimElem) -> SimElem {
+        self.run2(OpKind::FpAdd, a, b)
+    }
+
+    fn sub(&self, a: &SimElem, b: &SimElem) -> SimElem {
+        self.run2(OpKind::FpSub, a, b)
+    }
+
+    fn mul(&self, a: &SimElem, b: &SimElem) -> SimElem {
+        self.run2(OpKind::FpMul, a, b)
+    }
+
+    fn sqr(&self, a: &SimElem) -> SimElem {
+        self.run1(OpKind::FpSqr, a)
+    }
+
+    fn is_zero(&self, a: &SimElem) -> bool {
+        a.words.iter().all(|&w| w == 0)
+    }
+
+    fn select(&self, mask: u64, a: &SimElem, b: &SimElem) -> SimElem {
+        let mut words = [0u64; RED_LIMBS];
+        mpise_mpi::ct::select_limbs(mask, &a.words, &b.words, &mut words);
+        SimElem { words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FpFull;
+
+    #[test]
+    fn sim_backends_agree_with_host() {
+        let host = FpFull::new();
+        for config in Config::ALL {
+            let sim = SimFp::new(config);
+            let a = U512::from_u64(123456789);
+            let b = U512::from_u64(987654321);
+            let (sa, sb) = (sim.from_uint(&a), sim.from_uint(&b));
+            let (ha, hb) = (host.from_uint(&a), host.from_uint(&b));
+            assert_eq!(
+                sim.to_uint(&sim.mul(&sa, &sb)),
+                host.to_uint(&host.mul(&ha, &hb)),
+                "{config}"
+            );
+            assert_eq!(
+                sim.to_uint(&sim.add(&sa, &sb)),
+                host.to_uint(&host.add(&ha, &hb)),
+                "{config}"
+            );
+            assert_eq!(
+                sim.to_uint(&sim.sub(&sa, &sb)),
+                host.to_uint(&host.sub(&ha, &hb)),
+                "{config}"
+            );
+            assert_eq!(
+                sim.to_uint(&sim.sqr(&sa)),
+                host.to_uint(&host.sqr(&ha)),
+                "{config}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let sim = SimFp::new(Config::ALL[0]);
+        assert_eq!(sim.cycles(), 0);
+        let a = sim.from_uint(&U512::from_u64(3));
+        let _ = sim.mul(&a, &a);
+        let after_one = sim.cycles();
+        assert!(after_one > 100, "an Fp-mul costs hundreds of cycles");
+        assert_eq!(sim.calls(), 1);
+        let _ = sim.sqr(&a);
+        assert!(sim.cycles() > after_one);
+        sim.reset();
+        assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn zero_and_one() {
+        let sim = SimFp::new(Config::ALL[2]);
+        assert!(sim.is_zero(&sim.zero()));
+        assert_eq!(sim.to_uint(&sim.one()), U512::ONE);
+        let one = sim.one();
+        let two = sim.add(&one, &one);
+        assert_eq!(sim.to_uint(&two), U512::from_u64(2));
+    }
+}

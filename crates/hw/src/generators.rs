@@ -1,0 +1,253 @@
+//! Parameterized arithmetic-block generators.
+
+use crate::netlist::{Bus, Net, Netlist, ZERO};
+
+/// Ripple-carry adder: returns `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_adder(n: &mut Netlist, a: &[Net], b: &[Net]) -> (Bus, Net) {
+    assert_eq!(a.len(), b.len());
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = ZERO;
+    for i in 0..a.len() {
+        let (s, c) = if i == 0 {
+            n.half_adder(a[0], b[0])
+        } else {
+            n.full_adder(a[i], b[i], carry)
+        };
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Kogge–Stone parallel-prefix adder: returns `(sum, carry_out)`.
+///
+/// Log-depth carries at the cost of O(n log n) prefix cells — the
+/// adder family synthesis tools pick for timing-critical wide adds.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn kogge_stone_adder(n: &mut Netlist, a: &[Net], b: &[Net]) -> (Bus, Net) {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    let w = a.len();
+    // Generate/propagate.
+    let mut g: Bus = (0..w).map(|i| n.and2(a[i], b[i])).collect();
+    let mut p: Bus = (0..w).map(|i| n.xor2(a[i], b[i])).collect();
+    let p0 = p.clone(); // save the half-sum bits
+    let mut dist = 1;
+    while dist < w {
+        let mut g2 = g.clone();
+        let mut p2 = p.clone();
+        for i in dist..w {
+            // (g,p)_i = (g_i | p_i & g_{i-d}, p_i & p_{i-d})
+            let t = n.and2(p[i], g[i - dist]);
+            g2[i] = n.or2(g[i], t);
+            p2[i] = n.and2(p[i], p[i - dist]);
+        }
+        g = g2;
+        p = p2;
+        dist *= 2;
+    }
+    // sum_i = p0_i xor carry_{i-1}; carry_i = g_i (prefix).
+    let mut sum = Vec::with_capacity(w);
+    sum.push(p0[0]);
+    for i in 1..w {
+        sum.push(n.xor2(p0[i], g[i - 1]));
+    }
+    (sum, g[w - 1])
+}
+
+/// One carry-save 3:2 compressor row: reduces three buses to two
+/// (`sum`, `carry << 1`). Buses must share a width; the carry bus is
+/// returned already shifted (low bit zero).
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn csa_row(n: &mut Netlist, a: &[Net], b: &[Net], c: &[Net]) -> (Bus, Bus) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = vec![ZERO; a.len()];
+    for i in 0..a.len() {
+        let (s, co) = n.full_adder(a[i], b[i], c[i]);
+        sum.push(s);
+        if i + 1 < a.len() {
+            carry[i + 1] = co;
+        }
+    }
+    (sum, carry)
+}
+
+/// Wallace-style carry-save reduction of many addends to two, followed
+/// by no final adder (the caller picks one). All addends must share a
+/// width.
+///
+/// # Panics
+///
+/// Panics if fewer than two addends are given or widths differ.
+pub fn csa_tree(n: &mut Netlist, addends: Vec<Bus>) -> (Bus, Bus) {
+    assert!(addends.len() >= 2);
+    let w = addends[0].len();
+    assert!(addends.iter().all(|a| a.len() == w));
+    let mut layer = addends;
+    while layer.len() > 2 {
+        let mut next = Vec::new();
+        let mut it = layer.chunks_exact(3);
+        for chunk in &mut it {
+            let (s, c) = csa_row(n, &chunk[0], &chunk[1], &chunk[2]);
+            next.push(s);
+            next.push(c);
+        }
+        next.extend(it.remainder().iter().cloned());
+        layer = next;
+    }
+    let mut it = layer.into_iter();
+    let a = it.next().expect("two rows");
+    let b = it.next().expect("two rows");
+    (a, b)
+}
+
+/// Unsigned array multiplier built from an AND partial-product array,
+/// a carry-save reduction tree, and a Kogge–Stone final adder.
+/// Returns the `2w`-bit product.
+///
+/// The [`crate::netlist::Netlist::dsp_mul`] macro should be preferred
+/// when modelling FPGA mapping; this generator exists for the CMOS
+/// (ASIC) view and for sanity checks of the reduction tree.
+pub fn array_multiplier(n: &mut Netlist, a: &[Net], b: &[Net]) -> Bus {
+    assert_eq!(a.len(), b.len());
+    let w = a.len();
+    let out_w = 2 * w;
+    // Partial products, each aligned into a 2w-bit row.
+    let mut rows: Vec<Bus> = Vec::with_capacity(w);
+    for (j, &bj) in b.iter().enumerate() {
+        let mut row = vec![ZERO; out_w];
+        for (i, &ai) in a.iter().enumerate() {
+            row[i + j] = n.and2(ai, bj);
+        }
+        rows.push(row);
+    }
+    let (s, c) = csa_tree(n, rows);
+    let (sum, _) = kogge_stone_adder(n, &s, &c);
+    sum
+}
+
+/// Logarithmic barrel shifter: shifts `a` right by the binary amount
+/// `sh` (little-endian select bus). `arithmetic` selects sign fill.
+pub fn barrel_shifter_right(n: &mut Netlist, a: &[Net], sh: &[Net], arithmetic: bool) -> Bus {
+    let w = a.len();
+    let fill = if arithmetic { a[w - 1] } else { ZERO };
+    let mut cur: Bus = a.to_vec();
+    for (stage, &sel) in sh.iter().enumerate() {
+        let dist = 1usize << stage;
+        if dist >= w {
+            // Shifting by >= w replaces everything with fill when sel.
+            cur = (0..w).map(|i| n.mux2(sel, fill, cur[i])).collect();
+            continue;
+        }
+        let mut next = Vec::with_capacity(w);
+        for i in 0..w {
+            let shifted = if i + dist < w { cur[i + dist] } else { fill };
+            next.push(n.mux2(sel, shifted, cur[i]));
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{assign_bus as set_bus, bus_value};
+    use std::collections::HashMap;
+
+    fn eval(n: &Netlist, input_values: &[(Net, bool)]) -> HashMap<Net, bool> {
+        n.evaluate(input_values)
+    }
+
+    fn bus_val(bus: &[Net], vals: &HashMap<Net, bool>) -> u64 {
+        bus_value(bus, vals)
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        for (x, y) in [(0u64, 0u64), (5, 9), (255, 1), (170, 85)] {
+            let mut n = Netlist::new("t");
+            let a = n.input_bus(8);
+            let b = n.input_bus(8);
+            let (s, co) = ripple_adder(&mut n, &a, &b);
+            let mut iv = set_bus(&a, x);
+            iv.extend(set_bus(&b, y));
+            let vals = eval(&n, &iv);
+            let got = bus_val(&s, &vals) | ((vals[&co] as u64) << 8);
+            assert_eq!(got, x + y, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn kogge_stone_matches_ripple() {
+        for (x, y) in [(0u64, 0u64), (0xffff, 1), (0x1234, 0xfedc), (0xaaaa, 0x5555)] {
+            let mut n = Netlist::new("t");
+            let a = n.input_bus(16);
+            let b = n.input_bus(16);
+            let (s, co) = kogge_stone_adder(&mut n, &a, &b);
+            let mut iv = set_bus(&a, x);
+            iv.extend(set_bus(&b, y));
+            let vals = eval(&n, &iv);
+            let got = bus_val(&s, &vals) | ((vals[&co] as u64) << 16);
+            assert_eq!(got, x + y, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn csa_tree_preserves_sums() {
+        let mut n = Netlist::new("t");
+        let buses: Vec<_> = (0..5).map(|_| n.input_bus(12)).collect();
+        let (s, c) = csa_tree(&mut n, buses.clone());
+        let vals_in = [100u64, 200, 300, 55, 1000];
+        let mut iv = Vec::new();
+        for (bus, &v) in buses.iter().zip(&vals_in) {
+            iv.extend(set_bus(bus, v));
+        }
+        let vals = eval(&n, &iv);
+        let total = (bus_val(&s, &vals) + bus_val(&c, &vals)) & 0xfff;
+        assert_eq!(total, vals_in.iter().sum::<u64>() & 0xfff);
+    }
+
+    #[test]
+    fn array_multiplier_multiplies() {
+        for (x, y) in [(0u64, 7u64), (13, 11), (255, 255), (200, 100)] {
+            let mut n = Netlist::new("t");
+            let a = n.input_bus(8);
+            let b = n.input_bus(8);
+            let p = array_multiplier(&mut n, &a, &b);
+            let mut iv = set_bus(&a, x);
+            iv.extend(set_bus(&b, y));
+            let vals = eval(&n, &iv);
+            assert_eq!(bus_val(&p, &vals), x * y, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_logical_and_arithmetic() {
+        for (v, sh) in [(0x80u64, 3u64), (0xff, 7), (0x5a, 0)] {
+            let mut n = Netlist::new("t");
+            let a = n.input_bus(8);
+            let s = n.input_bus(3);
+            let out_l = barrel_shifter_right(&mut n, &a, &s, false);
+            let out_a = barrel_shifter_right(&mut n, &a, &s, true);
+            let mut iv = set_bus(&a, v);
+            iv.extend(set_bus(&s, sh));
+            let vals = eval(&n, &iv);
+            assert_eq!(bus_val(&out_l, &vals), v >> sh, "logical {v}>>{sh}");
+            let expect = ((v as i8 as i64) >> sh) as u64 & 0xff;
+            assert_eq!(bus_val(&out_a, &vals), expect, "arith {v}>>{sh}");
+        }
+    }
+}

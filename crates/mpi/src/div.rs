@@ -1,0 +1,330 @@
+//! MPI division (Knuth Algorithm D) and modular inversion (binary
+//! extended GCD).
+//!
+//! Neither operation appears in the paper's inner loops (CSIDH inverts
+//! through Fermat exponentiation), but a general MPI library needs
+//! them, and the binary-GCD inverse doubles as an independent check of
+//! the Fermat inversion used by the field backends.
+
+use crate::ct::sbb;
+use crate::uint::Uint;
+
+/// Returns `(quotient, remainder)` of `a / d` for same-width operands.
+///
+/// Implements Knuth's Algorithm D on 64-bit limbs with the standard
+/// two-limb quotient estimate and at most two corrections.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
+pub fn div_rem<const L: usize>(a: &Uint<L>, d: &Uint<L>) -> (Uint<L>, Uint<L>) {
+    assert!(!d.is_zero(), "division by zero");
+    if a < d {
+        return (Uint::ZERO, *a);
+    }
+    let n = (d.bit_length() as usize).div_ceil(64); // significant divisor limbs
+    if n == 1 {
+        // Single-limb divisor: simple schoolbook short division.
+        let dv = d.limb(0);
+        let mut q = [0u64; L];
+        let mut rem: u128 = 0;
+        for i in (0..L).rev() {
+            let cur = (rem << 64) | a.limb(i) as u128;
+            q[i] = (cur / dv as u128) as u64;
+            rem = cur % dv as u128;
+        }
+        return (Uint::from_limbs(q), Uint::from_u64(rem as u64));
+    }
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = d.limbs()[n - 1].leading_zeros();
+    let mut u = vec![0u64; L + 1]; // numerator with one extra limb
+    {
+        let an = a.shl(shift); // cannot lose bits: we append a limb
+        u[..L].copy_from_slice(an.limbs());
+        if shift > 0 {
+            u[L] = a.limb(L - 1) >> (64 - shift);
+        }
+    }
+    let v = d.shl(shift);
+    let v = &v.limbs()[..n];
+    let mut q = [0u64; L];
+
+    // D2-D7: main loop over quotient digits.
+    for j in (0..=L - n).rev() {
+        // D3: estimate qhat from the top two numerator limbs.
+        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top / v[n - 1] as u128;
+        let mut rhat = top % v[n - 1] as u128;
+        while qhat >> 64 != 0
+            || (n >= 2
+                && qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128))
+        {
+            qhat -= 1;
+            rhat += v[n - 1] as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+        // D4: multiply-subtract u[j..j+n+1] -= qhat * v.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let prod = qhat * v[i] as u128 + carry;
+            carry = prod >> 64;
+            let sub = u[j + i] as i128 - (prod as u64) as i128 - borrow;
+            u[j + i] = sub as u64;
+            borrow = if sub < 0 { 1 } else { 0 };
+        }
+        let sub = u[j + n] as i128 - carry as i128 - borrow;
+        u[j + n] = sub as u64;
+
+        // D5/D6: if we subtracted too much, add one divisor back.
+        if sub < 0 {
+            qhat -= 1;
+            let mut c = 0u64;
+            for i in 0..n {
+                let t = u[j + i] as u128 + v[i] as u128 + c as u128;
+                u[j + i] = t as u64;
+                c = (t >> 64) as u64;
+            }
+            u[j + n] = u[j + n].wrapping_add(c);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let mut r = [0u64; L];
+    r.copy_from_slice(&u[..L]);
+    let r = Uint::from_limbs(r).shr(shift);
+    (Uint::from_limbs(q), r)
+}
+
+/// `a mod d`.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
+pub fn rem<const L: usize>(a: &Uint<L>, d: &Uint<L>) -> Uint<L> {
+    div_rem(a, d).1
+}
+
+/// Right shift by one of a value with a carry bit above the top limb.
+fn shr1_with_carry<const L: usize>(v: &Uint<L>, carry: u64) -> Uint<L> {
+    let mut out = v.shr(1);
+    if carry != 0 {
+        let mut limbs = *out.limbs();
+        limbs[L - 1] |= 1 << 63;
+        out = Uint::from_limbs(limbs);
+    }
+    out
+}
+
+/// Modular inverse by the binary extended GCD: `a^{-1} mod m` for odd
+/// `m`, or `None` when `gcd(a, m) != 1` (including `a = 0`).
+///
+/// # Panics
+///
+/// Panics if `m` is even or < 3 (binary inversion needs an odd
+/// modulus, which all Montgomery moduli are).
+///
+/// # Examples
+///
+/// ```
+/// use mpise_mpi::{div::modinv, Uint};
+/// let m = Uint::<4>::from_u64(1000003); // prime
+/// let a = Uint::from_u64(1234);
+/// let inv = modinv(&a, &m).unwrap();
+/// // a * inv ≡ 1 (mod m)
+/// let prod = mpise_mpi::reference::RefInt::from_limbs(a.limbs())
+///     .mulmod(&mpise_mpi::reference::RefInt::from_limbs(inv.limbs()),
+///             &mpise_mpi::reference::RefInt::from_limbs(m.limbs()));
+/// assert_eq!(prod.to_limbs(1), vec![1]);
+/// ```
+pub fn modinv<const L: usize>(a: &Uint<L>, m: &Uint<L>) -> Option<Uint<L>> {
+    assert!(m.is_odd() && *m > Uint::from_u64(2), "modulus must be odd and >= 3");
+    if a.is_zero() {
+        return None;
+    }
+    let a = rem(a, m);
+    if a.is_zero() {
+        return None;
+    }
+    let mut u = a;
+    let mut v = *m;
+    let mut x1 = Uint::<L>::ONE; // x1·a ≡ u (mod m)
+    let mut x2 = Uint::<L>::ZERO; // x2·a ≡ v (mod m)
+    while !u.is_zero() {
+        while !u.is_odd() {
+            u = u.shr(1);
+            if x1.is_odd() {
+                let (s, c) = x1.adc(m, 0);
+                x1 = shr1_with_carry(&s, c);
+            } else {
+                x1 = x1.shr(1);
+            }
+        }
+        while !v.is_odd() && !v.is_zero() {
+            v = v.shr(1);
+            if x2.is_odd() {
+                let (s, c) = x2.adc(m, 0);
+                x2 = shr1_with_carry(&s, c);
+            } else {
+                x2 = x2.shr(1);
+            }
+        }
+        if u >= v {
+            u = u.wrapping_sub(&v);
+            x1 = mod_sub_full(&x1, &x2, m);
+        } else {
+            v = v.wrapping_sub(&u);
+            x2 = mod_sub_full(&x2, &x1, m);
+        }
+    }
+    if v == Uint::ONE {
+        Some(x2)
+    } else {
+        None // gcd(a, m) != 1
+    }
+}
+
+/// `a - b mod m` for `a, b < m` (no top-bit-free requirement).
+fn mod_sub_full<const L: usize>(a: &Uint<L>, b: &Uint<L>, m: &Uint<L>) -> Uint<L> {
+    let mut out = [0u64; L];
+    let mut borrow = 0u64;
+    for i in 0..L {
+        let (d, b2) = sbb(a.limb(i), b.limb(i), borrow);
+        out[i] = d;
+        borrow = b2;
+    }
+    if borrow == 1 {
+        // add m back
+        let (s, _) = Uint::from_limbs(out).adc(m, 0);
+        s
+    } else {
+        Uint::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::RefInt;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    type U256 = Uint<4>;
+
+    fn check_div(a: U256, d: U256) {
+        let (q, r) = div_rem(&a, &d);
+        // a == q*d + r and r < d
+        assert!(r < d, "r={r} d={d}");
+        let ra = RefInt::from_limbs(a.limbs());
+        let qd = RefInt::from_limbs(q.limbs()).mul(&RefInt::from_limbs(d.limbs()));
+        let back = qd.add(&RefInt::from_limbs(r.limbs()));
+        assert_eq!(back, ra, "a={a} d={d}");
+    }
+
+    #[test]
+    fn division_basics() {
+        check_div(U256::from_u64(100), U256::from_u64(7));
+        check_div(U256::from_u64(7), U256::from_u64(100));
+        check_div(U256::ZERO, U256::ONE);
+        check_div(U256::MAX, U256::ONE);
+        check_div(U256::MAX, U256::MAX);
+        check_div(U256::MAX, U256::from_u64(3));
+    }
+
+    #[test]
+    fn division_multi_limb_divisors() {
+        let a = U256::from_hex("0xdeadbeefcafef00d0123456789abcdeffedcba98765432100011223344556677")
+            .unwrap();
+        for d_hex in [
+            "0x10000000000000001",
+            "0xffffffffffffffffffffffffffffffff",
+            "0x8000000000000000000000000000000000000000000000001",
+            "0x123456789abcdef0fedcba9876543210f",
+        ] {
+            check_div(a, U256::from_hex(d_hex).unwrap());
+        }
+    }
+
+    #[test]
+    fn division_randomized_against_reference() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a = U256::from_limbs(std::array::from_fn(|_| rng.gen()));
+            // Random divisor width from 1 to 4 limbs.
+            let limbs = rng.gen_range(1..=4);
+            let mut dl = [0u64; 4];
+            for l in dl.iter_mut().take(limbs) {
+                *l = rng.gen();
+            }
+            if dl.iter().all(|&x| x == 0) {
+                dl[0] = 1;
+            }
+            check_div(a, U256::from_limbs(dl));
+        }
+    }
+
+    #[test]
+    fn qhat_correction_paths() {
+        // Crafted inputs that force the Algorithm-D correction steps:
+        // divisor with all-ones top limb and numerator just below a
+        // multiple.
+        let d = U256::from_hex("0xffffffffffffffff0000000000000000").unwrap();
+        let a = U256::from_hex("0xfffffffffffffffeffffffffffffffffffffffffffffffff").unwrap();
+        check_div(a, d);
+        let d = U256::from_hex("0x80000000000000000000000000000001").unwrap();
+        let a = U256::MAX;
+        check_div(a, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        let _ = div_rem(&U256::ONE, &U256::ZERO);
+    }
+
+    #[test]
+    fn modinv_small_prime() {
+        let m = U256::from_u64(1_000_003);
+        for a in [1u64, 2, 999, 1_000_002] {
+            let inv = modinv(&U256::from_u64(a), &m).unwrap();
+            let prod = RefInt::from_u64(a)
+                .mulmod(&RefInt::from_limbs(inv.limbs()), &RefInt::from_u64(1_000_003));
+            assert_eq!(prod, RefInt::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modinv_detects_common_factors() {
+        let m = U256::from_u64(9); // odd composite
+        assert!(modinv(&U256::from_u64(3), &m).is_none());
+        assert!(modinv(&U256::from_u64(6), &m).is_none());
+        assert!(modinv(&U256::from_u64(2), &m).is_some());
+        assert!(modinv(&U256::ZERO, &m).is_none());
+    }
+
+    #[test]
+    fn modinv_multi_limb() {
+        // 2^255 - 19 (prime, odd): random inverses check out.
+        let m = U256::from_hex(
+            "0x7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        )
+        .unwrap();
+        let rm = RefInt::from_limbs(m.limbs());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let a = U256::from_limbs(std::array::from_fn(|_| rng.gen()));
+            let a = rem(&a, &m);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = modinv(&a, &m).unwrap();
+            let prod =
+                RefInt::from_limbs(a.limbs()).mulmod(&RefInt::from_limbs(inv.limbs()), &rm);
+            assert_eq!(prod, RefInt::one());
+        }
+    }
+}

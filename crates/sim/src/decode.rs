@@ -1,0 +1,350 @@
+//! Binary instruction decoding (the inverse of [`crate::encode`]).
+
+use crate::ext::{decode_custom_operands, IsaExtension};
+use crate::inst::{AluImmOp, AluOp, BranchOp, Inst, LoadOp, StoreOp};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error returned when a 32-bit word is not a recognized instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw word that failed to decode.
+    pub raw: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction {:#010x}", self.raw)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(raw: u32) -> Reg {
+    Reg::from_number(((raw >> 7) & 0x1f) as u8).expect("5-bit field")
+}
+fn rs1(raw: u32) -> Reg {
+    Reg::from_number(((raw >> 15) & 0x1f) as u8).expect("5-bit field")
+}
+fn rs2(raw: u32) -> Reg {
+    Reg::from_number(((raw >> 20) & 0x1f) as u8).expect("5-bit field")
+}
+fn funct3(raw: u32) -> u32 {
+    (raw >> 12) & 0x7
+}
+fn funct7(raw: u32) -> u32 {
+    raw >> 25
+}
+
+/// Sign-extends the low `bits` of `v`.
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn i_imm(raw: u32) -> i32 {
+    sext(raw >> 20, 12)
+}
+
+fn s_imm(raw: u32) -> i32 {
+    sext(((raw >> 25) << 5) | ((raw >> 7) & 0x1f), 12)
+}
+
+fn b_imm(raw: u32) -> i32 {
+    let imm = (((raw >> 31) & 1) << 12)
+        | (((raw >> 7) & 1) << 11)
+        | (((raw >> 25) & 0x3f) << 5)
+        | (((raw >> 8) & 0xf) << 1);
+    sext(imm, 13)
+}
+
+fn j_imm(raw: u32) -> i32 {
+    let imm = (((raw >> 31) & 1) << 20)
+        | (((raw >> 12) & 0xff) << 12)
+        | (((raw >> 20) & 1) << 11)
+        | (((raw >> 21) & 0x3ff) << 1);
+    sext(imm, 21)
+}
+
+/// Decodes a 32-bit word into an [`Inst`].
+///
+/// Custom opcode space is resolved against `ext`; pass an empty
+/// [`IsaExtension`] to decode pure RV64I/M.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for any word that is neither a supported base
+/// instruction nor matched by the extension registry.
+pub fn decode(raw: u32, ext: &IsaExtension) -> Result<Inst, DecodeError> {
+    let err = || DecodeError { raw };
+    let opcode = raw & 0x7f;
+    let inst = match opcode {
+        0b0110111 => Inst::Lui {
+            rd: rd(raw),
+            imm20: sext(raw >> 12, 20),
+        },
+        0b0010111 => Inst::Auipc {
+            rd: rd(raw),
+            imm20: sext(raw >> 12, 20),
+        },
+        0b1101111 => Inst::Jal {
+            rd: rd(raw),
+            offset: j_imm(raw),
+        },
+        0b1100111 if funct3(raw) == 0 => Inst::Jalr {
+            rd: rd(raw),
+            rs1: rs1(raw),
+            offset: i_imm(raw),
+        },
+        0b1100011 => {
+            let op = match funct3(raw) {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return Err(err()),
+            };
+            Inst::Branch {
+                op,
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+                offset: b_imm(raw),
+            }
+        }
+        0b0000011 => {
+            let op = match funct3(raw) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b011 => LoadOp::Ld,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                0b110 => LoadOp::Lwu,
+                _ => return Err(err()),
+            };
+            Inst::Load {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                offset: i_imm(raw),
+            }
+        }
+        0b0100011 => {
+            let op = match funct3(raw) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                0b011 => StoreOp::Sd,
+                _ => return Err(err()),
+            };
+            Inst::Store {
+                op,
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+                offset: s_imm(raw),
+            }
+        }
+        0b0010011 => {
+            let f3 = funct3(raw);
+            match f3 {
+                0b001 | 0b101 => {
+                    let shamt = ((raw >> 20) & 0x3f) as i32;
+                    let hi = funct7(raw) >> 1; // top 6 bits select sra vs srl
+                    let op = match (f3, hi) {
+                        (0b001, 0b000000) => AluImmOp::Slli,
+                        (0b101, 0b000000) => AluImmOp::Srli,
+                        (0b101, 0b010000) => AluImmOp::Srai,
+                        _ => return Err(err()),
+                    };
+                    Inst::OpImm {
+                        op,
+                        rd: rd(raw),
+                        rs1: rs1(raw),
+                        imm: shamt,
+                    }
+                }
+                _ => {
+                    let op = match f3 {
+                        0b000 => AluImmOp::Addi,
+                        0b010 => AluImmOp::Slti,
+                        0b011 => AluImmOp::Sltiu,
+                        0b100 => AluImmOp::Xori,
+                        0b110 => AluImmOp::Ori,
+                        0b111 => AluImmOp::Andi,
+                        _ => return Err(err()),
+                    };
+                    Inst::OpImm {
+                        op,
+                        rd: rd(raw),
+                        rs1: rs1(raw),
+                        imm: i_imm(raw),
+                    }
+                }
+            }
+        }
+        0b0011011 => {
+            let f3 = funct3(raw);
+            match f3 {
+                0b000 => Inst::OpImm {
+                    op: AluImmOp::Addiw,
+                    rd: rd(raw),
+                    rs1: rs1(raw),
+                    imm: i_imm(raw),
+                },
+                0b001 | 0b101 => {
+                    let shamt = ((raw >> 20) & 0x1f) as i32;
+                    let op = match (f3, funct7(raw)) {
+                        (0b001, 0b0000000) => AluImmOp::Slliw,
+                        (0b101, 0b0000000) => AluImmOp::Srliw,
+                        (0b101, 0b0100000) => AluImmOp::Sraiw,
+                        _ => return Err(err()),
+                    };
+                    Inst::OpImm {
+                        op,
+                        rd: rd(raw),
+                        rs1: rs1(raw),
+                        imm: shamt,
+                    }
+                }
+                _ => return Err(err()),
+            }
+        }
+        0b0110011 => {
+            use AluOp::*;
+            let op = match (funct7(raw), funct3(raw)) {
+                (0b0000000, 0b000) => Add,
+                (0b0100000, 0b000) => Sub,
+                (0b0000000, 0b001) => Sll,
+                (0b0000000, 0b010) => Slt,
+                (0b0000000, 0b011) => Sltu,
+                (0b0000000, 0b100) => Xor,
+                (0b0000000, 0b101) => Srl,
+                (0b0100000, 0b101) => Sra,
+                (0b0000000, 0b110) => Or,
+                (0b0000000, 0b111) => And,
+                (0b0000001, 0b000) => Mul,
+                (0b0000001, 0b001) => Mulh,
+                (0b0000001, 0b010) => Mulhsu,
+                (0b0000001, 0b011) => Mulhu,
+                (0b0000001, 0b100) => Div,
+                (0b0000001, 0b101) => Divu,
+                (0b0000001, 0b110) => Rem,
+                (0b0000001, 0b111) => Remu,
+                _ => return Err(err()),
+            };
+            Inst::Op {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+            }
+        }
+        0b0111011 => {
+            use AluOp::*;
+            let op = match (funct7(raw), funct3(raw)) {
+                (0b0000000, 0b000) => Addw,
+                (0b0100000, 0b000) => Subw,
+                (0b0000000, 0b001) => Sllw,
+                (0b0000000, 0b101) => Srlw,
+                (0b0100000, 0b101) => Sraw,
+                (0b0000001, 0b000) => Mulw,
+                (0b0000001, 0b100) => Divw,
+                (0b0000001, 0b101) => Divuw,
+                (0b0000001, 0b110) => Remw,
+                (0b0000001, 0b111) => Remuw,
+                _ => return Err(err()),
+            };
+            Inst::Op {
+                op,
+                rd: rd(raw),
+                rs1: rs1(raw),
+                rs2: rs2(raw),
+            }
+        }
+        0b0001111 => Inst::Fence,
+        0b1110011 => match raw >> 20 {
+            0 => Inst::Ecall,
+            1 => Inst::Ebreak,
+            _ => return Err(err()),
+        },
+        _ => {
+            // Not a base opcode: try the extension registry.
+            let def = ext.match_encoding(raw).ok_or_else(err)?;
+            let (rd, rs1, rs2, rs3, imm) = decode_custom_operands(def.format, raw);
+            Inst::Custom {
+                id: def.id,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+                imm,
+            }
+        }
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn golden_decodes() {
+        let e = IsaExtension::new("none");
+        assert_eq!(
+            decode(0x00c5_8533, &e).unwrap(),
+            Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+        );
+        assert_eq!(
+            decode(0xff01_0113, &e).unwrap(),
+            Inst::OpImm {
+                op: AluImmOp::Addi,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                imm: -16
+            }
+        );
+        assert_eq!(decode(0x0010_0073, &e).unwrap(), Inst::Ebreak);
+    }
+
+    #[test]
+    fn illegal_rejected() {
+        let e = IsaExtension::new("none");
+        assert!(decode(0xffff_ffff, &e).is_err());
+        assert!(decode(0x0000_0000, &e).is_err());
+        // custom-3 opcode without a registered extension
+        assert!(decode(0x0000_007b, &e).is_err());
+    }
+
+    #[test]
+    fn negative_branch_offset_round_trip() {
+        let e = IsaExtension::new("none");
+        let i = Inst::Branch {
+            op: BranchOp::Bltu,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+            offset: -4096,
+        };
+        let raw = encode(&i, &e).unwrap();
+        assert_eq!(decode(raw, &e).unwrap(), i);
+    }
+
+    #[test]
+    fn negative_jal_offset_round_trip() {
+        let e = IsaExtension::new("none");
+        let i = Inst::Jal {
+            rd: Reg::Zero,
+            offset: -1048576,
+        };
+        let raw = encode(&i, &e).unwrap();
+        assert_eq!(decode(raw, &e).unwrap(), i);
+    }
+}

@@ -1,0 +1,565 @@
+//! Typed representation of the simulated instruction set.
+//!
+//! The model covers RV64I and RV64M — the instruction classes that MPI
+//! arithmetic kernels use (§2 of the paper: `add`, `sub`, `slli`, `srli`,
+//! `srai`, `sltu`, `mul`, `mulhu`, loads/stores, …) — plus a
+//! [`Inst::Custom`] variant through which instruction-set extensions are
+//! threaded (see [`crate::ext`]).
+//!
+//! The RV64C (compressed) extension changes code size, not semantics or —
+//! on the in-order Rocket pipeline — cycle counts of cache-resident
+//! kernels, so it is intentionally not modelled; all instructions are
+//! 32 bits wide.
+
+use crate::ext::CustomId;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Register–register ALU and multiply/divide operations (R-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `add`: 64-bit addition.
+    Add,
+    /// `sub`: 64-bit subtraction.
+    Sub,
+    /// `sll`: logical left shift by `rs2[5:0]`.
+    Sll,
+    /// `slt`: signed set-less-than.
+    Slt,
+    /// `sltu`: unsigned set-less-than (the carry/borrow detector of
+    /// RISC-V MPI code).
+    Sltu,
+    /// `xor`: bit-wise exclusive or.
+    Xor,
+    /// `srl`: logical right shift by `rs2[5:0]`.
+    Srl,
+    /// `sra`: arithmetic right shift by `rs2[5:0]`.
+    Sra,
+    /// `or`: bit-wise inclusive or.
+    Or,
+    /// `and`: bit-wise and.
+    And,
+    /// `addw`: 32-bit addition, sign-extended.
+    Addw,
+    /// `subw`: 32-bit subtraction, sign-extended.
+    Subw,
+    /// `sllw`: 32-bit left shift, sign-extended.
+    Sllw,
+    /// `srlw`: 32-bit logical right shift, sign-extended.
+    Srlw,
+    /// `sraw`: 32-bit arithmetic right shift, sign-extended.
+    Sraw,
+    /// `mul`: low 64 bits of the product.
+    Mul,
+    /// `mulh`: high 64 bits of the signed×signed product.
+    Mulh,
+    /// `mulhsu`: high 64 bits of the signed×unsigned product.
+    Mulhsu,
+    /// `mulhu`: high 64 bits of the unsigned×unsigned product.
+    Mulhu,
+    /// `div`: signed division.
+    Div,
+    /// `divu`: unsigned division.
+    Divu,
+    /// `rem`: signed remainder.
+    Rem,
+    /// `remu`: unsigned remainder.
+    Remu,
+    /// `mulw`: 32-bit multiply, sign-extended.
+    Mulw,
+    /// `divw`: 32-bit signed division, sign-extended.
+    Divw,
+    /// `divuw`: 32-bit unsigned division, sign-extended.
+    Divuw,
+    /// `remw`: 32-bit signed remainder, sign-extended.
+    Remw,
+    /// `remuw`: 32-bit unsigned remainder, sign-extended.
+    Remuw,
+}
+
+impl AluOp {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Addw => "addw",
+            AluOp::Subw => "subw",
+            AluOp::Sllw => "sllw",
+            AluOp::Srlw => "srlw",
+            AluOp::Sraw => "sraw",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhsu => "mulhsu",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+            AluOp::Mulw => "mulw",
+            AluOp::Divw => "divw",
+            AluOp::Divuw => "divuw",
+            AluOp::Remw => "remw",
+            AluOp::Remuw => "remuw",
+        }
+    }
+
+    /// Whether the operation executes on the (extended) multiplier unit,
+    /// i.e. has the 2-stage pipelined-multiplier timing of the paper.
+    pub const fn is_multiply(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu | AluOp::Mulw
+        )
+    }
+
+    /// Whether the operation is an iterative divide/remainder.
+    pub const fn is_divide(self) -> bool {
+        matches!(
+            self,
+            AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+                | AluOp::Divw
+                | AluOp::Divuw
+                | AluOp::Remw
+                | AluOp::Remuw
+        )
+    }
+}
+
+/// Register–immediate ALU operations (I-type, including immediate shifts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `addi`: add sign-extended 12-bit immediate.
+    Addi,
+    /// `slti`: signed set-less-than immediate.
+    Slti,
+    /// `sltiu`: unsigned set-less-than immediate.
+    Sltiu,
+    /// `xori`: xor immediate.
+    Xori,
+    /// `ori`: or immediate.
+    Ori,
+    /// `andi`: and immediate.
+    Andi,
+    /// `slli`: left shift by 6-bit shamt.
+    Slli,
+    /// `srli`: logical right shift by 6-bit shamt.
+    Srli,
+    /// `srai`: arithmetic right shift by 6-bit shamt.
+    Srai,
+    /// `addiw`: 32-bit add immediate, sign-extended.
+    Addiw,
+    /// `slliw`: 32-bit left shift, sign-extended.
+    Slliw,
+    /// `srliw`: 32-bit logical right shift, sign-extended.
+    Srliw,
+    /// `sraiw`: 32-bit arithmetic right shift, sign-extended.
+    Sraiw,
+}
+
+impl AluImmOp {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+            AluImmOp::Addiw => "addiw",
+            AluImmOp::Slliw => "slliw",
+            AluImmOp::Srliw => "srliw",
+            AluImmOp::Sraiw => "sraiw",
+        }
+    }
+
+    /// Whether the immediate is a shift amount (6 bits for RV64 shifts,
+    /// 5 bits for the `*w` forms) rather than a sign-extended 12-bit value.
+    pub const fn is_shift(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Slli
+                | AluImmOp::Srli
+                | AluImmOp::Srai
+                | AluImmOp::Slliw
+                | AluImmOp::Srliw
+                | AluImmOp::Sraiw
+        )
+    }
+}
+
+/// Conditional branch comparisons (B-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// `beq`: branch if equal.
+    Beq,
+    /// `bne`: branch if not equal.
+    Bne,
+    /// `blt`: branch if signed less-than.
+    Blt,
+    /// `bge`: branch if signed greater-or-equal.
+    Bge,
+    /// `bltu`: branch if unsigned less-than.
+    Bltu,
+    /// `bgeu`: branch if unsigned greater-or-equal.
+    Bgeu,
+}
+
+impl BranchOp {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchOp::Beq => "beq",
+            BranchOp::Bne => "bne",
+            BranchOp::Blt => "blt",
+            BranchOp::Bge => "bge",
+            BranchOp::Bltu => "bltu",
+            BranchOp::Bgeu => "bgeu",
+        }
+    }
+
+    /// Evaluates the branch condition on two register values.
+    pub fn taken(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchOp::Beq => a == b,
+            BranchOp::Bne => a != b,
+            BranchOp::Blt => (a as i64) < (b as i64),
+            BranchOp::Bge => (a as i64) >= (b as i64),
+            BranchOp::Bltu => a < b,
+            BranchOp::Bgeu => a >= b,
+        }
+    }
+}
+
+/// Memory load widths and sign treatment (I-type loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// `lb`: signed byte.
+    Lb,
+    /// `lh`: signed half-word.
+    Lh,
+    /// `lw`: signed word.
+    Lw,
+    /// `ld`: double-word.
+    Ld,
+    /// `lbu`: unsigned byte.
+    Lbu,
+    /// `lhu`: unsigned half-word.
+    Lhu,
+    /// `lwu`: unsigned word.
+    Lwu,
+}
+
+impl LoadOp {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            LoadOp::Lb => "lb",
+            LoadOp::Lh => "lh",
+            LoadOp::Lw => "lw",
+            LoadOp::Ld => "ld",
+            LoadOp::Lbu => "lbu",
+            LoadOp::Lhu => "lhu",
+            LoadOp::Lwu => "lwu",
+        }
+    }
+
+    /// Access width in bytes.
+    pub const fn width(self) -> u64 {
+        match self {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw | LoadOp::Lwu => 4,
+            LoadOp::Ld => 8,
+        }
+    }
+}
+
+/// Memory store widths (S-type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// `sb`: byte.
+    Sb,
+    /// `sh`: half-word.
+    Sh,
+    /// `sw`: word.
+    Sw,
+    /// `sd`: double-word.
+    Sd,
+}
+
+impl StoreOp {
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            StoreOp::Sb => "sb",
+            StoreOp::Sh => "sh",
+            StoreOp::Sw => "sw",
+            StoreOp::Sd => "sd",
+        }
+    }
+
+    /// Access width in bytes.
+    pub const fn width(self) -> u64 {
+        match self {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+            StoreOp::Sd => 8,
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// Branch, jump, load and store offsets are byte offsets held as `i32`;
+/// the encoder validates their ranges. ALU immediates are the
+/// sign-extended architectural value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `lui rd, imm`: load upper immediate (`imm` is the final value's
+    /// upper 20 bits, i.e. the instruction writes `imm << 12`
+    /// sign-extended).
+    Lui { rd: Reg, imm20: i32 },
+    /// `auipc rd, imm`: add `imm << 12` to the PC.
+    Auipc { rd: Reg, imm20: i32 },
+    /// `jal rd, offset`: jump and link.
+    Jal { rd: Reg, offset: i32 },
+    /// `jalr rd, offset(rs1)`: indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch.
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Memory load: `rd <- mem[rs1 + offset]`.
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Memory store: `mem[rs1 + offset] <- rs2`.
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Register–immediate ALU operation.
+    OpImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    /// Register–register ALU / multiply / divide operation.
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `fence`: treated as a no-op by this single-hart model.
+    Fence,
+    /// `ecall`: environment call; terminates a [`crate::Machine`] run.
+    Ecall,
+    /// `ebreak`: breakpoint; terminates a [`crate::Machine`] run.
+    Ebreak,
+    /// A custom (ISE) instruction, resolved against the machine's
+    /// registered extensions. `rs3` and `imm` are interpreted according
+    /// to the instruction's [`crate::ext::CustomFormat`].
+    Custom {
+        id: CustomId,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        rs3: Reg,
+        imm: u8,
+    },
+}
+
+impl Inst {
+    /// The destination register, when the instruction writes one
+    /// (writes to `x0` still count; the CPU discards them).
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::Custom { rd, .. } => Some(rd),
+            Inst::Branch { .. } | Inst::Store { .. } | Inst::Fence | Inst::Ecall | Inst::Ebreak => {
+                None
+            }
+        }
+    }
+
+    /// The source registers read by the instruction, in operand order.
+    pub fn uses(&self) -> Vec<Reg> {
+        match *self {
+            Inst::Lui { .. } | Inst::Auipc { .. } | Inst::Jal { .. } => vec![],
+            Inst::Jalr { rs1, .. } => vec![rs1],
+            Inst::Branch { rs1, rs2, .. } => vec![rs1, rs2],
+            Inst::Load { rs1, .. } => vec![rs1],
+            Inst::Store { rs1, rs2, .. } => vec![rs1, rs2],
+            Inst::OpImm { rs1, .. } => vec![rs1],
+            Inst::Op { rs1, rs2, .. } => vec![rs1, rs2],
+            Inst::Fence | Inst::Ecall | Inst::Ebreak => vec![],
+            Inst::Custom { rs1, rs2, rs3, .. } => vec![rs1, rs2, rs3],
+        }
+    }
+
+    /// Whether this is a control-transfer instruction (branch or jump).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. }
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    /// Formats in standard assembler syntax, e.g. `add a0, a1, a2` or
+    /// `ld t0, 8(a1)`. Custom instructions print as
+    /// `custom.<id> rd, rs1, rs2, rs3/imm`; the machine-level
+    /// disassembler in [`crate::asm`] substitutes real mnemonics using
+    /// the extension registry.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm20 } => write!(f, "lui {rd}, {:#x}", imm20),
+            Inst::Auipc { rd, imm20 } => write!(f, "auipc {rd}, {:#x}", imm20),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", op.mnemonic()),
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", op.mnemonic()),
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", op.mnemonic()),
+            Inst::OpImm { op, rd, rs1, imm } => {
+                write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::Fence => write!(f, "fence"),
+            Inst::Ecall => write!(f, "ecall"),
+            Inst::Ebreak => write!(f, "ebreak"),
+            Inst::Custom {
+                id,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+                imm,
+            } => write!(
+                f,
+                "custom.{} {rd}, {rs1}, {rs2}, {rs3}/{imm}",
+                id.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let i = Inst::Op {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(i.def(), Some(Reg::A0));
+        assert_eq!(i.uses(), vec![Reg::A1, Reg::A2]);
+
+        let s = Inst::Store {
+            op: StoreOp::Sd,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+            offset: 8,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Reg::A0, Reg::T0]);
+    }
+
+    #[test]
+    fn multiply_classification() {
+        assert!(AluOp::Mul.is_multiply());
+        assert!(AluOp::Mulhu.is_multiply());
+        assert!(!AluOp::Add.is_multiply());
+        assert!(AluOp::Divu.is_divide());
+        assert!(!AluOp::Mulhu.is_divide());
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchOp::Beq.taken(5, 5));
+        assert!(!BranchOp::Bne.taken(5, 5));
+        assert!(BranchOp::Blt.taken(u64::MAX, 0)); // -1 < 0 signed
+        assert!(!BranchOp::Bltu.taken(u64::MAX, 0)); // but not unsigned
+        assert!(BranchOp::Bgeu.taken(u64::MAX, 0));
+        assert!(BranchOp::Bge.taken(3, 3));
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Inst::Load {
+            op: LoadOp::Ld,
+            rd: Reg::T0,
+            rs1: Reg::A1,
+            offset: 16,
+        };
+        assert_eq!(i.to_string(), "ld t0, 16(a1)");
+        let b = Inst::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: -8,
+        };
+        assert_eq!(b.to_string(), "bne a0, zero, -8");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(LoadOp::Ld.width(), 8);
+        assert_eq!(LoadOp::Lbu.width(), 1);
+        assert_eq!(StoreOp::Sw.width(), 4);
+    }
+}

@@ -1,0 +1,400 @@
+//! The top-level simulator: CPU + memory + program + extensions + timing.
+
+use crate::asm::Program;
+use crate::cpu::{Cpu, Trap};
+use crate::ext::IsaExtension;
+use crate::inst::Inst;
+use crate::mem::Memory;
+use crate::reg::Reg;
+use crate::timing::{PipelineModel, TimingConfig, TimingStats};
+use crate::trace::Tracer;
+
+/// Default base address of loaded programs.
+pub const PROG_BASE: u64 = 0x0000_1000;
+/// Default base address of data memory.
+pub const DATA_BASE: u64 = 0x8000_0000;
+/// Default data memory size (1 MiB).
+pub const DATA_SIZE: usize = 1 << 20;
+/// Default instruction budget before a run aborts (guards against
+/// runaway loops in tests).
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// How a [`Machine::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// `ebreak` executed.
+    Breakpoint,
+    /// `ecall` executed.
+    EnvironmentCall,
+    /// Execution returned to the sentinel return address installed by
+    /// [`Machine::call`].
+    Returned,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cycles elapsed under the pipeline model.
+    pub cycles: u64,
+    /// Why the run stopped.
+    pub halt: Halt,
+    /// Detailed per-class counters.
+    pub timing: TimingStats,
+}
+
+impl RunStats {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instret == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instret as f64
+        }
+    }
+}
+
+/// Error produced by [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The CPU trapped (memory fault, illegal instruction, PC escape).
+    Trap(Trap),
+    /// The instruction budget ([`Machine::set_fuel`]) was exhausted.
+    OutOfFuel {
+        /// The budget that was exhausted.
+        fuel: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Trap(t) => write!(f, "trap: {t}"),
+            RunError::OutOfFuel { fuel } => write!(f, "out of fuel after {fuel} instructions"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<Trap> for RunError {
+    fn from(t: Trap) -> Self {
+        RunError::Trap(t)
+    }
+}
+
+/// A complete simulated RV64 machine.
+///
+/// The program lives in a dedicated instruction region starting at
+/// [`PROG_BASE`] (Harvard-style — kernels address data only through
+/// pointers, matching how the paper's kernels receive operand pointers
+/// in `a0..a2`). Data memory starts at [`DATA_BASE`]; the stack pointer
+/// is initialised to its top.
+///
+/// # Examples
+///
+/// Calling a two-argument "function" with [`Machine::call`]:
+///
+/// ```
+/// use mpise_sim::{Assembler, Machine, Reg};
+/// let mut a = Assembler::new();
+/// a.mul(Reg::A0, Reg::A0, Reg::A1);
+/// a.ret();
+/// let mut m = Machine::new();
+/// m.load_program(&a.finish());
+/// let stats = m.call(&[(Reg::A0, 6), (Reg::A1, 7)]).unwrap();
+/// assert_eq!(m.cpu.read_reg(Reg::A0), 42);
+/// assert!(stats.cycles >= stats.instret);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// Data memory.
+    pub mem: Memory,
+    ext: IsaExtension,
+    program: Vec<Inst>,
+    prog_base: u64,
+    pipeline: PipelineModel,
+    fuel: u64,
+    tracer: Option<Tracer>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with default memory, no extensions and the
+    /// Rocket-like default timing.
+    pub fn new() -> Self {
+        Self::with_ext(IsaExtension::new("rv64im"))
+    }
+
+    /// Creates a machine with the given ISA extension attached.
+    pub fn with_ext(ext: IsaExtension) -> Self {
+        let mut cpu = Cpu::new();
+        cpu.write_reg(Reg::Sp, DATA_BASE + DATA_SIZE as u64);
+        Machine {
+            cpu,
+            mem: Memory::new(DATA_BASE, DATA_SIZE),
+            ext,
+            program: Vec::new(),
+            prog_base: PROG_BASE,
+            pipeline: PipelineModel::new(TimingConfig::default()),
+            fuel: DEFAULT_FUEL,
+            tracer: None,
+        }
+    }
+
+    /// Replaces the timing configuration (resets the pipeline clock).
+    pub fn set_timing(&mut self, config: TimingConfig) {
+        self.pipeline = PipelineModel::new(config);
+    }
+
+    /// Sets the instruction budget for subsequent runs.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Attaches an execution tracer (see [`crate::trace`]).
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Takes the tracer back out, with whatever it recorded.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// The attached extension registry.
+    pub fn ext(&self) -> &IsaExtension {
+        &self.ext
+    }
+
+    /// Loads `program` at [`PROG_BASE`] and points the PC at its first
+    /// instruction.
+    pub fn load_program(&mut self, program: &Program) {
+        self.program = program.insts().to_vec();
+        self.cpu.pc = self.prog_base;
+    }
+
+    /// Base address of the loaded program.
+    pub fn prog_base(&self) -> u64 {
+        self.prog_base
+    }
+
+    /// Sentinel address used by [`Machine::call`] as the return address:
+    /// one instruction past the end of the program.
+    pub fn return_sentinel(&self) -> u64 {
+        self.prog_base + 4 * self.program.len() as u64
+    }
+
+    fn fetch(&self) -> Result<&Inst, Trap> {
+        let pc = self.cpu.pc;
+        if pc < self.prog_base || !pc.is_multiple_of(4) {
+            return Err(Trap::PcOutOfProgram { pc });
+        }
+        let idx = ((pc - self.prog_base) / 4) as usize;
+        self.program.get(idx).ok_or(Trap::PcOutOfProgram { pc })
+    }
+
+    /// Runs from the current PC until `ebreak`, `ecall`, or return to
+    /// the sentinel address. The pipeline clock continues from where it
+    /// was; use [`Machine::reset_clock`] between measurements.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Trap`] on faults, [`RunError::OutOfFuel`] when the
+    /// instruction budget is exhausted.
+    pub fn run(&mut self) -> Result<RunStats, RunError> {
+        let start_instret = self.pipeline.stats().instret();
+        let start_cycles = self.pipeline.cycles();
+        let sentinel = self.return_sentinel();
+        let mut fuel = self.fuel;
+        loop {
+            if self.cpu.pc == sentinel {
+                return Ok(self.finish_stats(start_instret, start_cycles, Halt::Returned));
+            }
+            if fuel == 0 {
+                return Err(RunError::OutOfFuel { fuel: self.fuel });
+            }
+            fuel -= 1;
+
+            let inst = *self.fetch().map_err(RunError::Trap)?;
+            let pc_before = self.cpu.pc;
+            let result = self.cpu.step(&inst, &mut self.mem, &self.ext);
+
+            // Timing: every attempted instruction that architecturally
+            // retires (including the trapping ebreak/ecall) is costed.
+            let taken = inst.is_control() && self.cpu.pc != pc_before.wrapping_add(4);
+            let unit = match inst {
+                Inst::Custom { id, .. } => self.ext.by_id(id).map(|d| d.unit),
+                _ => None,
+            };
+            self.pipeline.retire(&inst, taken, unit);
+            if let Some(t) = &mut self.tracer {
+                t.record(pc_before, &inst, &self.cpu);
+            }
+
+            match result {
+                Ok(()) => {}
+                Err(Trap::Breakpoint) => {
+                    return Ok(self.finish_stats(start_instret, start_cycles, Halt::Breakpoint));
+                }
+                Err(Trap::EnvironmentCall) => {
+                    return Ok(self.finish_stats(
+                        start_instret,
+                        start_cycles,
+                        Halt::EnvironmentCall,
+                    ));
+                }
+                Err(t) => return Err(RunError::Trap(t)),
+            }
+        }
+    }
+
+    fn finish_stats(&self, start_instret: u64, start_cycles: u64, halt: Halt) -> RunStats {
+        RunStats {
+            instret: self.pipeline.stats().instret() - start_instret,
+            cycles: self.pipeline.cycles() - start_cycles,
+            halt,
+            timing: *self.pipeline.stats(),
+        }
+    }
+
+    /// Resets the pipeline clock and scoreboard (architectural state is
+    /// untouched). Call between back-to-back measurements.
+    pub fn reset_clock(&mut self) {
+        self.pipeline.reset();
+    }
+
+    /// Calls the loaded program as a function: sets the given argument
+    /// registers, points `ra` at the return sentinel, runs to
+    /// completion, and reports the stats of just this call.
+    ///
+    /// The pipeline clock is reset first, so `stats.cycles` is the cost
+    /// of the call alone — this is how all Table 4 rows are measured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`Machine::run`].
+    pub fn call(&mut self, args: &[(Reg, u64)]) -> Result<RunStats, RunError> {
+        self.reset_clock();
+        self.cpu.pc = self.prog_base;
+        self.cpu.write_reg(Reg::Ra, self.return_sentinel());
+        for &(r, v) in args {
+            self.cpu.write_reg(r, v);
+        }
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    #[test]
+    fn run_to_ebreak() {
+        let mut a = Assembler::new();
+        a.li(Reg::T0, 5);
+        a.li(Reg::T1, 7);
+        a.add(Reg::A0, Reg::T0, Reg::T1);
+        a.ebreak();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        let stats = m.run().unwrap();
+        assert_eq!(m.cpu.read_reg(Reg::A0), 12);
+        assert_eq!(stats.halt, Halt::Breakpoint);
+        assert_eq!(stats.instret, 4);
+    }
+
+    #[test]
+    fn call_returns_via_sentinel() {
+        let mut a = Assembler::new();
+        a.add(Reg::A0, Reg::A0, Reg::A1);
+        a.ret();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        let stats = m.call(&[(Reg::A0, 1), (Reg::A1, 2)]).unwrap();
+        assert_eq!(stats.halt, Halt::Returned);
+        assert_eq!(m.cpu.read_reg(Reg::A0), 3);
+    }
+
+    #[test]
+    fn loop_executes_correct_trip_count() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.li(Reg::T0, 100);
+        a.li(Reg::T1, 0);
+        a.bind(top);
+        a.addi(Reg::T1, Reg::T1, 3);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, top);
+        a.ebreak();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        let stats = m.run().unwrap();
+        assert_eq!(m.cpu.read_reg(Reg::T1), 300);
+        // 2 setup + 100*3 loop + ebreak
+        assert_eq!(stats.instret, 2 + 300 + 1);
+        // 99 taken branches pay the flush penalty.
+        assert_eq!(stats.timing.flush_cycles, 99 * 2);
+    }
+
+    #[test]
+    fn memory_access_through_pointers() {
+        let mut a = Assembler::new();
+        a.ld(Reg::T0, 0, Reg::A0);
+        a.ld(Reg::T1, 8, Reg::A0);
+        a.add(Reg::T0, Reg::T0, Reg::T1);
+        a.sd(Reg::T0, 0, Reg::A1);
+        a.ret();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        m.mem.write_limbs(DATA_BASE, &[30, 12]).unwrap();
+        m.call(&[(Reg::A0, DATA_BASE), (Reg::A1, DATA_BASE + 64)])
+            .unwrap();
+        assert_eq!(m.mem.load_u64(DATA_BASE + 64).unwrap(), 42);
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.j(top);
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        m.set_fuel(1000);
+        assert!(matches!(m.run(), Err(RunError::OutOfFuel { .. })));
+    }
+
+    #[test]
+    fn pc_escape_is_a_trap() {
+        let mut a = Assembler::new();
+        a.jalr(Reg::Zero, 0, Reg::Zero); // jump to 0, outside program
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        assert!(matches!(
+            m.run(),
+            Err(RunError::Trap(Trap::PcOutOfProgram { .. }))
+        ));
+    }
+
+    #[test]
+    fn call_resets_clock_per_invocation() {
+        let mut a = Assembler::new();
+        a.add(Reg::A0, Reg::A0, Reg::A1);
+        a.ret();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        let s1 = m.call(&[(Reg::A0, 1), (Reg::A1, 2)]).unwrap();
+        let s2 = m.call(&[(Reg::A0, 3), (Reg::A1, 4)]).unwrap();
+        assert_eq!(s1.cycles, s2.cycles);
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution tracing for debugging kernels.
+
+use crate::cpu::Cpu;
+use crate::inst::Inst;
+use crate::reg::Reg;
+
+/// One retired instruction with its architectural effects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// PC the instruction executed at.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: Inst,
+    /// Destination register and the value written, if any.
+    pub wrote: Option<(Reg, u64)>,
+}
+
+/// Records retired instructions up to a bounded capacity.
+///
+/// Attach with [`crate::Machine::set_tracer`]; recover with
+/// [`crate::Machine::take_tracer`]. Tracing is off by default because
+/// MPI kernels retire hundreds of instructions per call.
+///
+/// # Examples
+///
+/// ```
+/// use mpise_sim::{Assembler, Machine, Reg, trace::Tracer};
+/// let mut a = Assembler::new();
+/// a.li(Reg::T0, 7);
+/// a.ebreak();
+/// let mut m = Machine::new();
+/// m.load_program(&a.finish());
+/// m.set_tracer(Some(Tracer::new(16)));
+/// m.run().unwrap();
+/// let t = m.take_tracer().unwrap();
+/// assert_eq!(t.entries()[0].wrote, Some((Reg::T0, 7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    /// Total instructions seen (may exceed the retained capacity).
+    pub total: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            entries: Vec::new(),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Records one retired instruction (called by the machine).
+    pub fn record(&mut self, pc: u64, inst: &Inst, cpu_after: &Cpu) {
+        self.total += 1;
+        if self.entries.len() < self.capacity {
+            let wrote = inst.def().map(|rd| (rd, cpu_after.read_reg(rd)));
+            self.entries.push(TraceEntry {
+                pc,
+                inst: *inst,
+                wrote,
+            });
+        }
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Renders the trace as text, one line per instruction.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match e.wrote {
+                Some((rd, v)) => {
+                    out.push_str(&format!("{:#8x}: {:32} {rd} = {v:#018x}\n", e.pc, e.inst.to_string()));
+                }
+                None => out.push_str(&format!("{:#8x}: {}\n", e.pc, e.inst)),
+            }
+        }
+        if self.total > self.entries.len() as u64 {
+            out.push_str(&format!(
+                "... {} more instructions not retained\n",
+                self.total - self.entries.len() as u64
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::machine::Machine;
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut a = Assembler::new();
+        for _ in 0..10 {
+            a.addi(Reg::T0, Reg::T0, 1);
+        }
+        a.ebreak();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        m.set_tracer(Some(Tracer::new(3)));
+        m.run().unwrap();
+        let t = m.take_tracer().unwrap();
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.total, 11);
+        assert!(t.render().contains("more instructions"));
+    }
+
+    #[test]
+    fn records_writes() {
+        let mut a = Assembler::new();
+        a.li(Reg::A0, 5);
+        a.sd(Reg::A0, 0, Reg::Sp); // no def
+        a.ebreak();
+        let mut m = Machine::new();
+        m.cpu.write_reg(Reg::Sp, crate::machine::DATA_BASE + 64);
+        m.load_program(&a.finish());
+        m.set_tracer(Some(Tracer::new(8)));
+        m.run().unwrap();
+        let t = m.take_tracer().unwrap();
+        assert_eq!(t.entries()[0].wrote, Some((Reg::A0, 5)));
+        assert_eq!(t.entries()[1].wrote, None);
+    }
+}

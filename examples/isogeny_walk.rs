@@ -1,0 +1,41 @@
+//! A guided walk through the isogeny graph: apply single ℓᵢ-isogeny
+//! steps to the base curve and watch the Montgomery coefficient move,
+//! then return along the inverse path.
+//!
+//! ```text
+//! cargo run --release --example isogeny_walk
+//! ```
+
+use mpise::csidh::{group_action, PrivateKey, PublicKey};
+use mpise::fp::params::{NUM_PRIMES, PRIMES};
+use mpise::fp::FpRed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn step(direction: i8, index: usize) -> PrivateKey {
+    let mut exponents = [0i8; NUM_PRIMES];
+    exponents[index] = direction;
+    PrivateKey { exponents }
+}
+
+fn main() {
+    let field = FpRed::new(); // reduced-radix backend, just to show it works here too
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let mut curve = PublicKey::BASE;
+    println!("start:      E_A with A = {}", curve.a);
+
+    let path = [0usize, 1, 2, 25, 73];
+    for &i in &path {
+        curve = group_action(&field, &mut rng, &curve, &step(1, i));
+        println!("after l_{:<3} ({}-isogeny):  A = {}", i + 1, PRIMES[i], curve.a);
+    }
+
+    println!("walking back ...");
+    for &i in path.iter().rev() {
+        curve = group_action(&field, &mut rng, &curve, &step(-1, i));
+    }
+    println!("returned:   A = {}", curve.a);
+    assert_eq!(curve, PublicKey::BASE, "inverse walk must return to E_0");
+    println!("round trip through the isogeny graph closed exactly.  [ok]");
+}

@@ -1,0 +1,87 @@
+//! End-to-end CSIDH-512 key exchange across crates and backends.
+
+use mpise::csidh::{group_action, validate, CsidhKeypair, PrivateKey, PublicKey};
+use mpise::fp::params::NUM_PRIMES;
+use mpise::fp::{CountingFp, FpFull, FpRed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_radix_key_exchange() {
+    let f = FpFull::new();
+    let mut rng = StdRng::seed_from_u64(1001);
+    let alice = CsidhKeypair::generate_with_bound(&f, &mut rng, 2);
+    let bob = CsidhKeypair::generate_with_bound(&f, &mut rng, 2);
+    let s1 = alice.private.shared_secret(&f, &mut rng, &bob.public);
+    let s2 = bob.private.shared_secret(&f, &mut rng, &alice.public);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn reduced_radix_key_exchange() {
+    let f = FpRed::new();
+    let mut rng = StdRng::seed_from_u64(1002);
+    let alice = CsidhKeypair::generate_with_bound(&f, &mut rng, 1);
+    let bob = CsidhKeypair::generate_with_bound(&f, &mut rng, 1);
+    let s1 = alice.private.shared_secret(&f, &mut rng, &bob.public);
+    let s2 = bob.private.shared_secret(&f, &mut rng, &alice.public);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn cross_backend_key_exchange() {
+    // Alice computes on full-radix, Bob on reduced-radix: the shared
+    // secret must still agree (the backend is an implementation
+    // detail, like the paper's four interchangeable assembler layers).
+    let ff = FpFull::new();
+    let fr = FpRed::new();
+    let mut rng = StdRng::seed_from_u64(1003);
+    let alice = CsidhKeypair::generate_with_bound(&ff, &mut rng, 1);
+    let bob = CsidhKeypair::generate_with_bound(&fr, &mut rng, 1);
+    let s1 = alice.private.shared_secret(&ff, &mut rng, &bob.public);
+    let s2 = bob.private.shared_secret(&fr, &mut rng, &alice.public);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn public_keys_validate_and_serialize() {
+    let f = FpFull::new();
+    let mut rng = StdRng::seed_from_u64(1004);
+    let kp = CsidhKeypair::generate_with_bound(&f, &mut rng, 1);
+    assert!(validate(&f, &mut rng, &kp.public));
+    let bytes = kp.public.to_bytes();
+    assert_eq!(bytes.len(), 64, "64-byte public keys (paper §2)");
+    assert_eq!(PublicKey::from_bytes(&bytes).unwrap(), kp.public);
+}
+
+#[test]
+fn derived_keys_differ_between_parties() {
+    let f = FpFull::new();
+    let mut rng = StdRng::seed_from_u64(1005);
+    let a = CsidhKeypair::generate_with_bound(&f, &mut rng, 1);
+    let b = CsidhKeypair::generate_with_bound(&f, &mut rng, 1);
+    assert_ne!(a.public, b.public);
+    assert_ne!(a.public, PublicKey::BASE);
+}
+
+#[test]
+fn op_counts_match_between_backends() {
+    // The high-level algorithm is shared, so both backends perform
+    // exactly the same sequence of field operations for the same
+    // randomness (the paper's "same code for the high-level
+    // computations").
+    let key = {
+        let mut exponents = [0i8; NUM_PRIMES];
+        exponents[3] = 1;
+        exponents[50] = -1;
+        PrivateKey { exponents }
+    };
+    let cf = CountingFp::new(FpFull::new());
+    let cr = CountingFp::new(FpRed::new());
+    let mut rng1 = StdRng::seed_from_u64(1006);
+    let mut rng2 = StdRng::seed_from_u64(1006);
+    let p1 = group_action(&cf, &mut rng1, &PublicKey::BASE, &key);
+    let p2 = group_action(&cr, &mut rng2, &PublicKey::BASE, &key);
+    assert_eq!(p1, p2);
+    assert_eq!(cf.counts(), cr.counts());
+}
