@@ -26,9 +26,7 @@ fn benches(c: &mut Criterion) {
     g.bench_function("karatsuba", |bench| {
         bench.iter(|| mul_karatsuba(black_box(&a), black_box(&b)))
     });
-    g.bench_function("square-ps", |bench| {
-        bench.iter(|| square_ps(black_box(&a)))
-    });
+    g.bench_function("square-ps", |bench| bench.iter(|| square_ps(black_box(&a))));
     g.finish();
 
     let mut g = c.benchmark_group("mpi-reduce");

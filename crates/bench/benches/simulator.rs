@@ -15,9 +15,12 @@ fn benches(c: &mut Criterion) {
         let a = vec![3u64; n];
         let b = vec![5u64; n];
         // Use small canonical values; kernels are constant-time anyway.
-        g.bench_function(BenchmarkId::new("fp-mul-kernel", config.to_string()), |bench| {
-            bench.iter(|| runner.run(OpKind::FpMul, black_box(&[a.as_slice(), b.as_slice()])))
-        });
+        g.bench_function(
+            BenchmarkId::new("fp-mul-kernel", config.to_string()),
+            |bench| {
+                bench.iter(|| runner.run(OpKind::FpMul, black_box(&[a.as_slice(), b.as_slice()])))
+            },
+        );
     }
     g.finish();
 }

@@ -1,0 +1,6 @@
+//! Thin entry point for the constant-time gate; see
+//! [`mpise_bench::ctcheck`] for what is checked.
+
+fn main() {
+    std::process::exit(mpise_bench::ctcheck::run());
+}

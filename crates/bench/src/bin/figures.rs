@@ -23,14 +23,22 @@ fn show(ext: &IsaExtension) {
             rd: Reg::A0,
             rs1: Reg::A1,
             rs2: Reg::A2,
-            rs3: if def.format.has_rs3() { Reg::A3 } else { Reg::Zero },
+            rs3: if def.format.has_rs3() {
+                Reg::A3
+            } else {
+                Reg::Zero
+            },
             imm: if def.format.has_rs3() { 0 } else { 57 },
         };
         let raw = encode(&inst, ext).expect("encodes");
         let back = mpise_sim::decode::decode(raw, ext).expect("decodes");
         assert_eq!(back, inst, "{} round trip", def.mnemonic);
         match def.format {
-            CustomFormat::R4 { opcode, funct3, funct2 } => {
+            CustomFormat::R4 {
+                opcode,
+                funct3,
+                funct2,
+            } => {
                 println!(
                     "  {:10} rd, rs1, rs2, rs3   raw={raw:#010x}  \
                      [rs3={:<2} f2={:02b} rs2={:<2} rs1={:<2} f3={:03b} rd={:<2} opc={:07b}]",
@@ -44,7 +52,11 @@ fn show(ext: &IsaExtension) {
                     opcode
                 );
             }
-            CustomFormat::RShamt { opcode, funct3, bit31 } => {
+            CustomFormat::RShamt {
+                opcode,
+                funct3,
+                bit31,
+            } => {
                 println!(
                     "  {:10} rd, rs1, rs2, imm   raw={raw:#010x}  \
                      [b31={} imm={:<2} rs2={:<2} rs1={:<2} f3={:03b} rd={:<2} opc={:07b}]",

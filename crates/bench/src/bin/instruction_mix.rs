@@ -54,9 +54,8 @@ fn main() {
     // from the multiplicative kernels.
     let isa = KernelSet::build(Config::ALL[0]);
     let ise = KernelSet::build(Config::ALL[1]);
-    let sltu = |set: &KernelSet, op| {
-        static_mix(set.kernel(op), &set.config.extension()).count("sltu")
-    };
+    let sltu =
+        |set: &KernelSet, op| static_mix(set.kernel(op), &set.config.extension()).count("sltu");
     assert!(sltu(&ise, OpKind::IntMul) < sltu(&isa, OpKind::IntMul) / 4);
     println!();
     println!("check: full-radix ISE removes >75% of the IntMul sltu instructions  [ok]");

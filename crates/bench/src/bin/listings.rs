@@ -31,12 +31,42 @@ fn latency(prog: &Program, ext: IsaExtension, reps: usize) -> u64 {
 fn main() {
     let plain = || IsaExtension::new("rv64im");
     let rows = [
-        ("Listing 1: full-radix MAC, ISA-only", mac::listing1_full_isa(), plain(), 8usize),
-        ("Listing 2: reduced-radix MAC, ISA-only", mac::listing2_red_isa(), plain(), 6),
-        ("Listing 3: full-radix MAC, ISE", mac::listing3_full_ise(), full_radix_ext(), 4),
-        ("Listing 4: reduced-radix MAC, ISE", mac::listing4_red_ise(), reduced_radix_ext(), 2),
-        ("carry propagation, ISA-only", mac::carry_prop_isa(), plain(), 3),
-        ("carry propagation, ISE (sraiadd)", mac::carry_prop_ise(), reduced_radix_ext(), 2),
+        (
+            "Listing 1: full-radix MAC, ISA-only",
+            mac::listing1_full_isa(),
+            plain(),
+            8usize,
+        ),
+        (
+            "Listing 2: reduced-radix MAC, ISA-only",
+            mac::listing2_red_isa(),
+            plain(),
+            6,
+        ),
+        (
+            "Listing 3: full-radix MAC, ISE",
+            mac::listing3_full_ise(),
+            full_radix_ext(),
+            4,
+        ),
+        (
+            "Listing 4: reduced-radix MAC, ISE",
+            mac::listing4_red_ise(),
+            reduced_radix_ext(),
+            2,
+        ),
+        (
+            "carry propagation, ISA-only",
+            mac::carry_prop_isa(),
+            plain(),
+            3,
+        ),
+        (
+            "carry propagation, ISE (sraiadd)",
+            mac::carry_prop_ise(),
+            reduced_radix_ext(),
+            2,
+        ),
     ];
     println!("MAC and carry-propagation micro-kernels (paper §3.1/§3.2)");
     println!("{}", rule(92));

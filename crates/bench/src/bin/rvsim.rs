@@ -35,12 +35,7 @@ fn main() -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ise" => ise = it.next().cloned(),
-            "--trace" => {
-                trace = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(32)
-            }
+            "--trace" => trace = it.next().and_then(|s| s.parse().ok()).unwrap_or(32),
             "--regs" => dump_regs = true,
             "--mix" => show_mix = true,
             other if !other.starts_with("--") => file = Some(other.to_owned()),

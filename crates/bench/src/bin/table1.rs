@@ -6,8 +6,8 @@
 //! ```
 
 use mpise_bench::rule;
-use mpise_core::{full_radix_ext, reduced_radix_ext};
 use mpise_core::guidelines::check;
+use mpise_core::{full_radix_ext, reduced_radix_ext};
 
 fn main() {
     let full = full_radix_ext();
@@ -31,7 +31,10 @@ fn main() {
 
     println!("Table 1: overview of the ISEs");
     println!("{}", rule(70));
-    println!("{:22} {:>20} {:>24}", "Functionality", "full-radix", "reduced-radix");
+    println!(
+        "{:22} {:>20} {:>24}",
+        "Functionality", "full-radix", "reduced-radix"
+    );
     println!("{}", rule(70));
     println!(
         "{:22} {:>20} {:>24}",
@@ -54,7 +57,11 @@ fn main() {
             e.defs().len(),
             report.r4_count,
             report.two_source_count,
-            if report.is_compliant() { "compliant" } else { "VIOLATED" }
+            if report.is_compliant() {
+                "compliant"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 }

@@ -38,7 +38,10 @@ fn main() {
     );
     println!();
     println!("XMUL netlist mapping detail (multiplier datapath only):");
-    for (name, r) in ["base", "full-radix", "reduced-radix"].iter().zip(t.xmul_reports) {
+    for (name, r) in ["base", "full-radix", "reduced-radix"]
+        .iter()
+        .zip(t.xmul_reports)
+    {
         println!(
             "  {:14} {:>5} LUTs {:>5} Regs {:>3} DSPs ({} cells)",
             name, r.luts, r.regs, r.dsps, r.cells

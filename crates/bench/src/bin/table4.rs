@@ -94,7 +94,11 @@ fn main() {
     print!("{:28}", "CSIDH group action (est.)");
     for cfg in 0..4 {
         let c = action_cycles(cfg);
-        print!(" {:>9.1}M ({:>3.0}M)", c as f64 / 1e6, PAPER_ACTION_MCYCLES[cfg]);
+        print!(
+            " {:>9.1}M ({:>3.0}M)",
+            c as f64 / 1e6,
+            PAPER_ACTION_MCYCLES[cfg]
+        );
     }
     println!();
     print!("{:28}", "  speedup vs full ISA-only");
@@ -137,10 +141,7 @@ fn main() {
     }
 }
 
-fn check_shape(
-    counts: &OpCounts,
-    cycles: &dyn Fn(usize, OpKind) -> u64,
-) -> Result<(), String> {
+fn check_shape(counts: &OpCounts, cycles: &dyn Fn(usize, OpKind) -> u64) -> Result<(), String> {
     // ISA-only: full radix wins Fp-mul/sqr, loses add/sub.
     if cycles(0, OpKind::FpMul) >= cycles(2, OpKind::FpMul) {
         return Err("full-radix ISA-only Fp-mul should beat reduced-radix".into());

@@ -15,6 +15,8 @@
 //! This library holds the paper's reference numbers (for side-by-side
 //! printing) and small formatting helpers shared by the binaries.
 
+pub mod ctcheck;
+
 use mpise_fp::kernels::OpKind;
 
 /// The paper's Table 4 cycle counts, row-major:

@@ -89,7 +89,8 @@ pub fn full_radix_ext() -> IsaExtension {
         },
     ];
     for d in defs {
-        e.define(d).expect("full-radix ISE definitions are conflict-free");
+        e.define(d)
+            .expect("full-radix ISE definitions are conflict-free");
     }
     e
 }
@@ -115,12 +116,8 @@ mod tests {
             imm: 0,
         };
         let raw = encode(&i, &ext).unwrap();
-        let expect: u32 = (13 << 27)
-            | (12 << 20)
-            | (11 << 15)
-            | (0b111 << 12)
-            | (10 << 7)
-            | 0b1111011;
+        let expect: u32 =
+            (13 << 27) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0b1111011;
         assert_eq!(raw, expect);
 
         // funct2 distinguishes the three instructions.

@@ -48,10 +48,9 @@ impl std::fmt::Display for Violation {
                 f,
                 "`{mnemonic}` uses the R4 format but is not a multiply-add"
             ),
-            Violation::NonCustomOpcode { mnemonic, opcode } => write!(
-                f,
-                "`{mnemonic}` uses non-custom major opcode {opcode:#09b}"
-            ),
+            Violation::NonCustomOpcode { mnemonic, opcode } => {
+                write!(f, "`{mnemonic}` uses non-custom major opcode {opcode:#09b}")
+            }
         }
     }
 }

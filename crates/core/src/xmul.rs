@@ -265,8 +265,16 @@ impl Xmul {
         // Main path (128 bits, interpreted as signed for the shifts).
         let main: i128 = match c.main {
             MainPath::Product { x_signed, y_signed } => {
-                let xv: i128 = if x_signed { x as i64 as i128 } else { x as i128 };
-                let yv: i128 = if y_signed { y as i64 as i128 } else { y as i128 };
+                let xv: i128 = if x_signed {
+                    x as i64 as i128
+                } else {
+                    x as i128
+                };
+                let yv: i128 = if y_signed {
+                    y as i64 as i128
+                } else {
+                    y as i128
+                };
                 xv.wrapping_mul(yv)
             }
             MainPath::XZext => x as i128,
@@ -324,7 +332,10 @@ mod tests {
     fn base_ops_match_rv64m_semantics() {
         let u = Xmul::new();
         for &(x, y, _, _) in &CASES {
-            assert_eq!(u.execute(XmulOp::Mul, x, y, 0, 0), eval_alu(AluOp::Mul, x, y));
+            assert_eq!(
+                u.execute(XmulOp::Mul, x, y, 0, 0),
+                eval_alu(AluOp::Mul, x, y)
+            );
             assert_eq!(
                 u.execute(XmulOp::Mulh, x, y, 0, 0),
                 eval_alu(AluOp::Mulh, x, y)
@@ -352,7 +363,10 @@ mod tests {
                 u.execute(XmulOp::Maddhu, x, y, z, 0),
                 intrinsics::maddhu(x, y, z)
             );
-            assert_eq!(u.execute(XmulOp::Cadd, x, y, z, 0), intrinsics::cadd(x, y, z));
+            assert_eq!(
+                u.execute(XmulOp::Cadd, x, y, z, 0),
+                intrinsics::cadd(x, y, z)
+            );
             assert_eq!(
                 u.execute(XmulOp::Madd57lu, x, y, z, 0),
                 intrinsics::madd57lu(x, y, z)

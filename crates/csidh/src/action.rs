@@ -157,12 +157,7 @@ pub fn group_action<F: Fp, R: Rng>(
 
         // Clear the cofactor: P has order dividing ∏_{i∈todo} ℓᵢ.
         let clear = scalar::four_times_product((0..NUM_PRIMES).filter(|i| !todo.contains(i)));
-        let mut point = xmul(
-            f,
-            &curve,
-            &Point { x, z: f.one() },
-            &clear,
-        );
+        let mut point = xmul(f, &curve, &Point { x, z: f.one() }, &clear);
         if is_infinity(f, &point) {
             continue;
         }
@@ -355,7 +350,13 @@ mod tests {
         let bogus = PublicKey { a: U512::ONE };
         assert!(!validate(&f, &mut rng, &bogus));
         // Singular curves rejected outright.
-        assert!(!validate(&f, &mut rng, &PublicKey { a: U512::from_u64(2) }));
+        assert!(!validate(
+            &f,
+            &mut rng,
+            &PublicKey {
+                a: U512::from_u64(2)
+            }
+        ));
         // Non-canonical rejected.
         assert!(!validate(
             &f,
@@ -368,7 +369,9 @@ mod tests {
 
     #[test]
     fn public_key_bytes_round_trip() {
-        let pk = PublicKey { a: U512::from_u64(0x1234_5678) };
+        let pk = PublicKey {
+            a: U512::from_u64(0x1234_5678),
+        };
         let b = pk.to_bytes();
         assert_eq!(PublicKey::from_bytes(&b).unwrap(), pk);
         let bad = [0xffu8; 64];

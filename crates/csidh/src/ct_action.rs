@@ -76,6 +76,29 @@ pub struct CtStats {
     pub failed_kernels: u64,
 }
 
+impl CtStats {
+    /// Checks the constant-work invariant: exactly `NUM_PRIMES × budget`
+    /// isogeny computations, regardless of the key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the discrepancy when the invariant does
+    /// not hold (which would mean the action's work depends on the key).
+    pub fn verify_constant_work(&self, budget: u8) -> Result<(), String> {
+        let expected = NUM_PRIMES as u64 * budget as u64;
+        let total = self.real_isogenies + self.dummy_isogenies;
+        if total == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "isogeny work depends on the key: {} real + {} dummy = {total}, \
+                 expected {expected} (NUM_PRIMES × budget)",
+                self.real_isogenies, self.dummy_isogenies
+            ))
+        }
+    }
+}
+
 /// Evaluates the group action with a key-independent isogeny count.
 ///
 /// Returns the resulting public key plus the [`CtStats`] evidencing
@@ -88,8 +111,7 @@ pub fn group_action_ct<F: Fp, R: Rng>(
     key: &CtPrivateKey,
 ) -> (PublicKey, CtStats) {
     let mut real: [u8; NUM_PRIMES] = key.exponents;
-    let mut dummy: [u8; NUM_PRIMES] =
-        std::array::from_fn(|i| key.budget - key.exponents[i]);
+    let mut dummy: [u8; NUM_PRIMES] = std::array::from_fn(|i| key.budget - key.exponents[i]);
     let mut stats = CtStats::default();
     let mut curve = Curve::from_affine(f, f.from_uint(&start.a));
 
@@ -99,7 +121,9 @@ pub fn group_action_ct<F: Fp, R: Rng>(
         if f.legendre(&rhs(f, &curve, &x)) != 1 {
             continue;
         }
-        let todo: Vec<usize> = (0..NUM_PRIMES).filter(|&i| real[i] + dummy[i] > 0).collect();
+        let todo: Vec<usize> = (0..NUM_PRIMES)
+            .filter(|&i| real[i] + dummy[i] > 0)
+            .collect();
         let clear = scalar::four_times_product((0..NUM_PRIMES).filter(|i| !todo.contains(i)));
         let mut point = xmul(f, &curve, &Point { x, z: f.one() }, &clear);
         if is_infinity(f, &point) {
@@ -198,21 +222,20 @@ mod tests {
         let f = FpFull::new();
         let budget = 1u8;
         let keys = [
-            sparse(&[], budget),                    // all dummy
-            sparse(&[(5, 1), (6, 1)], budget),      // two real
+            sparse(&[], budget),               // all dummy
+            sparse(&[(5, 1), (6, 1)], budget), // two real
             CtPrivateKey {
                 exponents: [1; NUM_PRIMES],
                 budget,
-            },                                      // all real
+            }, // all real
         ];
         for key in keys {
             let mut rng = StdRng::seed_from_u64(7);
             let (_, stats) = group_action_ct(&f, &mut rng, &PublicKey::BASE, &key);
-            assert_eq!(
-                stats.real_isogenies + stats.dummy_isogenies,
-                NUM_PRIMES as u64 * budget as u64,
-                "total isogeny work must not depend on the key"
-            );
+            stats
+                .verify_constant_work(budget)
+                .expect("total isogeny work must not depend on the key");
+            assert!(stats.verify_constant_work(budget + 1).is_err());
             let expected_real: u64 = key.exponents.iter().map(|&e| e as u64).sum();
             assert_eq!(stats.real_isogenies, expected_real);
         }

@@ -40,7 +40,10 @@ pub struct ElligatorPair<E> {
 /// Returns `None` when the map is undefined: `A = 0`, `u = 0`, or
 /// `u² = 1`.
 pub fn elligator2<F: Fp>(f: &F, e: &Curve<F::Elem>, u: &F::Elem) -> Option<ElligatorPair<F::Elem>> {
-    debug_assert!(f.to_uint(&e.c) == mpise_mpi::U512::ONE, "affine coefficient required");
+    debug_assert!(
+        f.to_uint(&e.c) == mpise_mpi::U512::ONE,
+        "affine coefficient required"
+    );
     if f.is_zero(&e.a) || f.is_zero(u) {
         return None;
     }

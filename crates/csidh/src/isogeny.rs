@@ -113,11 +113,7 @@ mod tests {
     use mpise_fp::{Fp, FpFull};
     use mpise_mpi::U512;
 
-    fn find_order_l_point<F: Fp>(
-        f: &F,
-        e: &Curve<F::Elem>,
-        l_index: usize,
-    ) -> Point<F::Elem> {
+    fn find_order_l_point<F: Fp>(f: &F, e: &Curve<F::Elem>, l_index: usize) -> Point<F::Elem> {
         // [(p+1)/l] of a random on-curve point has order 1 or l; retry
         // until it is non-trivial.
         let cof = scalar::four_times_product((0..PRIMES.len()).filter(|&j| j != l_index));

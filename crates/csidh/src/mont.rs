@@ -48,12 +48,7 @@ pub fn a24<F: Fp>(f: &F, e: &Curve<F::Elem>) -> (F::Elem, F::Elem) {
 }
 
 /// x-only doubling: `[2]P` (4M + 2S with the precomputed `(A+2C : 4C)`).
-pub fn xdbl<F: Fp>(
-    f: &F,
-    p: &Point<F::Elem>,
-    a24_plus: &F::Elem,
-    c24: &F::Elem,
-) -> Point<F::Elem> {
+pub fn xdbl<F: Fp>(f: &F, p: &Point<F::Elem>, a24_plus: &F::Elem, c24: &F::Elem) -> Point<F::Elem> {
     let t0 = f.sub(&p.x, &p.z);
     let t1 = f.add(&p.x, &p.z);
     let t0 = f.sqr(&t0);
@@ -138,9 +133,9 @@ pub fn normalize<F: Fp>(f: &F, e: &Curve<F::Elem>) -> F::Elem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpise_fp::{FpFull, FpRed};
-    use mpise_fp::params::Csidh512;
     use crate::scalar;
+    use mpise_fp::params::Csidh512;
+    use mpise_fp::{FpFull, FpRed};
 
     fn base_curve<F: Fp>(f: &F) -> Curve<F::Elem> {
         Curve::from_affine(f, f.zero()) // E_0: y² = x³ + x
@@ -187,8 +182,18 @@ mod tests {
         let f = FpRed::new();
         let e = base_curve(&f);
         let p = sample_point(&f, 5);
-        let a = xmul(&f, &e, &xmul(&f, &e, &p, &U512::from_u64(3)), &U512::from_u64(2));
-        let b = xmul(&f, &e, &xmul(&f, &e, &p, &U512::from_u64(2)), &U512::from_u64(3));
+        let a = xmul(
+            &f,
+            &e,
+            &xmul(&f, &e, &p, &U512::from_u64(3)),
+            &U512::from_u64(2),
+        );
+        let b = xmul(
+            &f,
+            &e,
+            &xmul(&f, &e, &p, &U512::from_u64(2)),
+            &U512::from_u64(3),
+        );
         let lhs = f.mul(&a.x, &b.z);
         let rhs_ = f.mul(&b.x, &a.z);
         assert_eq!(f.to_uint(&lhs), f.to_uint(&rhs_));

@@ -1,7 +1,7 @@
 //! Small helpers for the public scalars of the group action
 //! (cofactors, which are products of the small primes `ℓᵢ`).
 
-use mpise_fp::params::{PRIMES, NUM_PRIMES};
+use mpise_fp::params::{NUM_PRIMES, PRIMES};
 use mpise_mpi::{Uint, U512};
 
 /// Multiplies a 512-bit value by a small constant.
@@ -64,7 +64,10 @@ mod tests {
         assert_eq!(mul_u64(&U512::ZERO, 999), U512::ZERO);
         // cross-limb carry
         let big = U512::from_limbs([u64::MAX, 0, 0, 0, 0, 0, 0, 0]);
-        assert_eq!(mul_u64(&big, 2), U512::from_limbs([u64::MAX - 1, 1, 0, 0, 0, 0, 0, 0]));
+        assert_eq!(
+            mul_u64(&big, 2),
+            U512::from_limbs([u64::MAX - 1, 1, 0, 0, 0, 0, 0, 0])
+        );
     }
 
     #[test]

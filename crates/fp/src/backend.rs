@@ -225,10 +225,7 @@ impl Fp for FpRed {
     }
 
     fn to_uint(&self, a: &Self::Elem) -> U512 {
-        Csidh512::get()
-            .mont57
-            .from_mont(a)
-            .to_uint::<FULL_LIMBS>()
+        Csidh512::get().mont57.from_mont(a).to_uint::<FULL_LIMBS>()
     }
 
     fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
@@ -521,7 +518,10 @@ mod tests {
         let f = FpRed::new();
         let a = f.from_uint(&U512::from_u64(9));
         assert_eq!(f.to_uint(&f.pow(&a, &U512::ZERO)), U512::ONE);
-        assert_eq!(f.to_uint(&f.pow(&a, &U512::from_u64(3))), U512::from_u64(729));
+        assert_eq!(
+            f.to_uint(&f.pow(&a, &U512::from_u64(3))),
+            U512::from_u64(729)
+        );
     }
 
     #[test]

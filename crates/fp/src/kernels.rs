@@ -293,7 +293,12 @@ mod tests {
                 radix,
                 ise: IseMode::IseSupported,
             });
-            for op in [OpKind::IntMul, OpKind::IntSqr, OpKind::MontRedc, OpKind::FpMul] {
+            for op in [
+                OpKind::IntMul,
+                OpKind::IntSqr,
+                OpKind::MontRedc,
+                OpKind::FpMul,
+            ] {
                 assert!(
                     ise.kernel(op).len() < isa.kernel(op).len(),
                     "{radix:?} {op:?}: ISE kernel not shorter ({} vs {})",

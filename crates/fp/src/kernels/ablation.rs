@@ -40,14 +40,7 @@ fn mac(a: &mut Assembler, ise: bool, acc: [Reg; 3], x: Reg, y: Reg, t1: Reg, t2:
 
 /// Emits a 4×4 product-scanning multiply of register operands into
 /// `dst[8*word_off ..]`.
-fn ps4x4(
-    a: &mut Assembler,
-    ise: bool,
-    x: &[Reg; H],
-    y: &[Reg; H],
-    dst: Reg,
-    word_off: usize,
-) {
+fn ps4x4(a: &mut Assembler, ise: bool, x: &[Reg; H], y: &[Reg; H], dst: Reg, word_off: usize) {
     let (t1, t2) = (Reg::A3, Reg::A7);
     let mut acc = [Reg::A4, Reg::A5, Reg::A6];
     for &r in &acc {
@@ -74,7 +67,15 @@ fn ps4x4(
 /// (`a0 = dst[16]`, `a1 = a[8]`, `a2 = b[8]`).
 pub fn karatsuba_int_mul(ise: bool) -> Program {
     let mut asm = Assembler::new();
-    let saved = [Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6];
+    let saved = [
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+    ];
     // Frame: 10 words for z1 (8 + carry words).
     let z1_words = 2 * H + 2;
     let frame = 8 * (saved.len() + z1_words) as i32;

@@ -194,9 +194,21 @@ fn emit_int_mul_body(a: &mut Assembler, ise: bool, dst: Reg, src_a: Reg, src_b: 
 }
 
 fn int_mul(ise: bool) -> Program {
-    with_frame(&[Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6], 0, |a| {
-        emit_int_mul_body(a, ise, Reg::A0, Reg::A1, Reg::A2);
-    })
+    with_frame(
+        &[
+            Reg::S0,
+            Reg::S1,
+            Reg::S2,
+            Reg::S3,
+            Reg::S4,
+            Reg::S5,
+            Reg::S6,
+        ],
+        0,
+        |a| {
+            emit_int_mul_body(a, ise, Reg::A0, Reg::A1, Reg::A2);
+        },
+    )
 }
 
 /// Emits the squaring body: cross products once (product scanning),
@@ -315,13 +327,25 @@ fn emit_int_sqr_via_mul(a: &mut Assembler, dst: Reg, src_a: Reg) {
 }
 
 fn int_sqr(ise: bool) -> Program {
-    with_frame(&[Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6], 0, |a| {
-        if ise {
-            emit_int_sqr_via_mul(a, Reg::A0, Reg::A1);
-        } else {
-            emit_int_sqr_body(a, ise, Reg::A0, Reg::A1);
-        }
-    })
+    with_frame(
+        &[
+            Reg::S0,
+            Reg::S1,
+            Reg::S2,
+            Reg::S3,
+            Reg::S4,
+            Reg::S5,
+            Reg::S6,
+        ],
+        0,
+        |a| {
+            if ise {
+                emit_int_sqr_via_mul(a, Reg::A0, Reg::A1);
+            } else {
+                emit_int_sqr_body(a, ise, Reg::A0, Reg::A1);
+            }
+        },
+    )
 }
 
 /// Emits the product-scanning Montgomery reduction body:

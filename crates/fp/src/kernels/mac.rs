@@ -130,7 +130,11 @@ mod tests {
         ];
         for (av, bv, l0, h0, e0) in cases {
             let regs = [(A, av), (B, bv), (ACC_L, l0), (ACC_H, h0), (ACC_E, e0)];
-            let m1 = run_mac(&listing1_full_isa(), mpise_sim::ext::IsaExtension::new("none"), &regs);
+            let m1 = run_mac(
+                &listing1_full_isa(),
+                mpise_sim::ext::IsaExtension::new("none"),
+                &regs,
+            );
             let m3 = run_mac(&listing3_full_ise(), full_radix_ext(), &regs);
             for r in [ACC_L, ACC_H, ACC_E] {
                 assert_eq!(m1.cpu.read_reg(r), m3.cpu.read_reg(r), "reg {r}");
@@ -147,7 +151,11 @@ mod tests {
         let b = (1u64 << 56) + 12345;
         let (l0, h0) = (99u64, 7u64);
         let regs2 = [(A, a), (B, b), (ACC_L, l0), (ACC_H, h0)];
-        let m2 = run_mac(&listing2_red_isa(), mpise_sim::ext::IsaExtension::new("none"), &regs2);
+        let m2 = run_mac(
+            &listing2_red_isa(),
+            mpise_sim::ext::IsaExtension::new("none"),
+            &regs2,
+        );
         // For the aligned comparison give listing 4 the same starting
         // value expressed in its representation: l = l0, h = h0<<7
         // (h0 counts 2^64 units = 2^7 units of 2^57).

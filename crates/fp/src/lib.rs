@@ -25,6 +25,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod backend;
+pub mod ctspec;
 pub mod kernels;
 pub mod measure;
 pub mod params;

@@ -200,10 +200,9 @@ fn random_inputs(rng: &mut StdRng, op: OpKind, config: &Config) -> Vec<Vec<u64>>
     let radix = config.radix;
     let c = Csidh512::get();
     match op {
-        OpKind::IntMul | OpKind::FpAdd | OpKind::FpSub | OpKind::FpMul => vec![
-            random_residue(rng, radix),
-            random_residue(rng, radix),
-        ],
+        OpKind::IntMul | OpKind::FpAdd | OpKind::FpSub | OpKind::FpMul => {
+            vec![random_residue(rng, radix), random_residue(rng, radix)]
+        }
         OpKind::IntSqr | OpKind::FpSqr => vec![random_residue(rng, radix)],
         OpKind::FastReduce => {
             // Value in [0, 2p): residue plus possibly p.
@@ -270,12 +269,12 @@ pub fn validate_and_measure(
         let (want, modulus) = expected(op, &config, &input_refs);
         let ok = match &modulus {
             None => got == want,
-            Some(m) => got.rem(m) == want.rem(m) && got.cmp_ref(&m.add(m)) == std::cmp::Ordering::Less,
+            Some(m) => {
+                got.rem(m) == want.rem(m) && got.cmp_ref(&m.add(m)) == std::cmp::Ordering::Less
+            }
         };
         if !ok {
-            return Err(format!(
-                "{config}: {op:?} wrong result on iteration {it}"
-            ));
+            return Err(format!("{config}: {op:?} wrong result on iteration {it}"));
         }
         match cycles_seen {
             None => cycles_seen = Some(cycles),
@@ -354,7 +353,13 @@ mod tests {
         let get = |v: &[OpMeasurement], op: OpKind| {
             v.iter().find(|m| m.op == op).expect("measured").cycles
         };
-        for op in [OpKind::IntMul, OpKind::IntSqr, OpKind::MontRedc, OpKind::FpMul, OpKind::FpSqr] {
+        for op in [
+            OpKind::IntMul,
+            OpKind::IntSqr,
+            OpKind::MontRedc,
+            OpKind::FpMul,
+            OpKind::FpSqr,
+        ] {
             assert!(
                 get(&ise, op) < get(&isa, op),
                 "{op:?}: full ISE {} !< ISA {}",

@@ -143,10 +143,12 @@ mod tests {
     fn mont_contexts_agree() {
         let c = Csidh512::get();
         // Multiply two values in both representations; results agree.
-        let a = U512::from_hex("0x123456789abcdef0fedcba987654321000112233445566778899aabbccddeeff")
-            .unwrap();
-        let b = U512::from_hex("0x0fedcba987654321123456789abcdef0ffeeddccbbaa99887766554433221100")
-            .unwrap();
+        let a =
+            U512::from_hex("0x123456789abcdef0fedcba987654321000112233445566778899aabbccddeeff")
+                .unwrap();
+        let b =
+            U512::from_hex("0x0fedcba987654321123456789abcdef0ffeeddccbbaa99887766554433221100")
+                .unwrap();
         let am = c.mont.to_mont(&a);
         let bm = c.mont.to_mont(&b);
         let full = c.mont.from_mont(&c.mont.mul(&am, &bm));

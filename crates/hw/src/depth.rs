@@ -106,8 +106,16 @@ mod tests {
         k.output(c);
         let dk = analyze(&k);
 
-        assert!(dr.critical_path > 50.0, "ripple ~64 levels, got {}", dr.critical_path);
-        assert!(dk.critical_path < 20.0, "KS ~log levels, got {}", dk.critical_path);
+        assert!(
+            dr.critical_path > 50.0,
+            "ripple ~64 levels, got {}",
+            dr.critical_path
+        );
+        assert!(
+            dk.critical_path < 20.0,
+            "KS ~log levels, got {}",
+            dk.critical_path
+        );
     }
 
     #[test]
@@ -136,9 +144,17 @@ mod tests {
         // the same order of magnitude (< 2.2x), consistent with the
         // paper's "no impact on clock frequency" after its pipeline
         // register placement.
-        assert!(full.critical_path < base.critical_path * 2.2,
-                "full {} vs base {}", full.critical_path, base.critical_path);
-        assert!(red.critical_path < base.critical_path * 2.2,
-                "reduced {} vs base {}", red.critical_path, base.critical_path);
+        assert!(
+            full.critical_path < base.critical_path * 2.2,
+            "full {} vs base {}",
+            full.critical_path,
+            base.critical_path
+        );
+        assert!(
+            red.critical_path < base.critical_path * 2.2,
+            "reduced {} vs base {}",
+            red.critical_path,
+            base.critical_path
+        );
     }
 }

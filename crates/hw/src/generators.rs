@@ -192,7 +192,12 @@ mod tests {
 
     #[test]
     fn kogge_stone_matches_ripple() {
-        for (x, y) in [(0u64, 0u64), (0xffff, 1), (0x1234, 0xfedc), (0xaaaa, 0x5555)] {
+        for (x, y) in [
+            (0u64, 0u64),
+            (0xffff, 1),
+            (0x1234, 0xfedc),
+            (0xaaaa, 0x5555),
+        ] {
             let mut n = Netlist::new("t");
             let a = n.input_bus(16);
             let b = n.input_bus(16);

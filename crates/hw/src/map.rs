@@ -185,7 +185,11 @@ mod tests {
         }
         n.output(acc);
         let r = map(&n);
-        assert!(r.luts >= 2, "8-input parity needs at least 2 LUTs, got {}", r.luts);
+        assert!(
+            r.luts >= 2,
+            "8-input parity needs at least 2 LUTs, got {}",
+            r.luts
+        );
     }
 
     #[test]

@@ -308,10 +308,7 @@ impl Netlist {
     ///
     /// Panics if a cell input was never assigned a value (an input
     /// missing from `input_values`).
-    pub fn evaluate(
-        &self,
-        input_values: &[(Net, bool)],
-    ) -> std::collections::HashMap<Net, bool> {
+    pub fn evaluate(&self, input_values: &[(Net, bool)]) -> std::collections::HashMap<Net, bool> {
         use std::collections::HashMap;
         let mut vals: HashMap<Net, bool> = input_values.iter().copied().collect();
         vals.insert(ZERO, false);
@@ -380,10 +377,7 @@ impl Netlist {
 }
 
 /// Packs a bus into an integer (bit `i` of the result = `bus[i]`).
-pub fn bus_value(
-    bus: &[Net],
-    vals: &std::collections::HashMap<Net, bool>,
-) -> u64 {
+pub fn bus_value(bus: &[Net], vals: &std::collections::HashMap<Net, bool>) -> u64 {
     bus_value_from(bus, vals)
 }
 

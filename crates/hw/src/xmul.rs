@@ -66,12 +66,7 @@ fn conditional_negate(n: &mut Netlist, a: &[Net], en: Net) -> Bus {
 /// Shared front end: stage-1 operand registers, sign handling and the
 /// DSP multiplier. Control bits 0..3: negate-x, negate-y,
 /// negate-product. Returns `(x_reg, y_reg, product)`.
-fn multiplier_front(
-    n: &mut Netlist,
-    x: &Bus,
-    y: &Bus,
-    ctrl: &Bus,
-) -> (Bus, Bus, Bus) {
+fn multiplier_front(n: &mut Netlist, x: &Bus, y: &Bus, ctrl: &Bus) -> (Bus, Bus, Bus) {
     let xs = conditional_negate(n, x, ctrl[0]);
     let ys = conditional_negate(n, y, ctrl[1]);
     let p = n.dsp_mul(&xs, &ys);
@@ -309,14 +304,7 @@ mod tests {
         }
     }
 
-    fn run(
-        x: &XmulNetlist,
-        ctrl: u64,
-        xv: u64,
-        yv: u64,
-        zv: u64,
-        shamt: u64,
-    ) -> u64 {
+    fn run(x: &XmulNetlist, ctrl: u64, xv: u64, yv: u64, zv: u64, shamt: u64) -> u64 {
         let mut iv = assign_bus(&x.x, xv);
         iv.extend(assign_bus(&x.y, yv));
         if !x.z.iter().all(|&n| n == ZERO) {
@@ -377,7 +365,14 @@ mod tests {
             let got = run(&fx, (1 << 6) | (1 << 3), xv, yv, zv, 0);
             assert_eq!(got, spec.execute(XmulOp::Maddhu, xv, yv, zv, 0), "maddhu");
             // cadd: main = x zext (4), pre-add y (5,6), out = post (7).
-            let got = run(&fx, (1 << 4) | (1 << 5) | (1 << 6) | (1 << 7), xv, yv, zv, 0);
+            let got = run(
+                &fx,
+                (1 << 4) | (1 << 5) | (1 << 6) | (1 << 7),
+                xv,
+                yv,
+                zv,
+                0,
+            );
             assert_eq!(got, spec.execute(XmulOp::Cadd, xv, yv, zv, 0), "cadd");
         }
     }

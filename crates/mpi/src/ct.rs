@@ -107,7 +107,9 @@ pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
 /// 64-bit subtract with borrow-in; returns `(difference, borrow_out)`.
 #[inline]
 pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
-    let t = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
     (t as u64, ((t >> 64) as u64) & 1)
 }
 

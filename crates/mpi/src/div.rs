@@ -57,8 +57,7 @@ pub fn div_rem<const L: usize>(a: &Uint<L>, d: &Uint<L>) -> (Uint<L>, Uint<L>) {
         let mut qhat = top / v[n - 1] as u128;
         let mut rhat = top % v[n - 1] as u128;
         while qhat >> 64 != 0
-            || (n >= 2
-                && qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128))
+            || (n >= 2 && qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128))
         {
             qhat -= 1;
             rhat += v[n - 1] as u128;
@@ -142,7 +141,10 @@ fn shr1_with_carry<const L: usize>(v: &Uint<L>, carry: u64) -> Uint<L> {
 /// assert_eq!(prod.to_limbs(1), vec![1]);
 /// ```
 pub fn modinv<const L: usize>(a: &Uint<L>, m: &Uint<L>) -> Option<Uint<L>> {
-    assert!(m.is_odd() && *m > Uint::from_u64(2), "modulus must be odd and >= 3");
+    assert!(
+        m.is_odd() && *m > Uint::from_u64(2),
+        "modulus must be odd and >= 3"
+    );
     if a.is_zero() {
         return None;
     }
@@ -237,8 +239,9 @@ mod tests {
 
     #[test]
     fn division_multi_limb_divisors() {
-        let a = U256::from_hex("0xdeadbeefcafef00d0123456789abcdeffedcba98765432100011223344556677")
-            .unwrap();
+        let a =
+            U256::from_hex("0xdeadbeefcafef00d0123456789abcdeffedcba98765432100011223344556677")
+                .unwrap();
         for d_hex in [
             "0x10000000000000001",
             "0xffffffffffffffffffffffffffffffff",
@@ -291,8 +294,10 @@ mod tests {
         let m = U256::from_u64(1_000_003);
         for a in [1u64, 2, 999, 1_000_002] {
             let inv = modinv(&U256::from_u64(a), &m).unwrap();
-            let prod = RefInt::from_u64(a)
-                .mulmod(&RefInt::from_limbs(inv.limbs()), &RefInt::from_u64(1_000_003));
+            let prod = RefInt::from_u64(a).mulmod(
+                &RefInt::from_limbs(inv.limbs()),
+                &RefInt::from_u64(1_000_003),
+            );
             assert_eq!(prod, RefInt::one(), "a={a}");
         }
     }
@@ -309,10 +314,9 @@ mod tests {
     #[test]
     fn modinv_multi_limb() {
         // 2^255 - 19 (prime, odd): random inverses check out.
-        let m = U256::from_hex(
-            "0x7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        )
-        .unwrap();
+        let m =
+            U256::from_hex("0x7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+                .unwrap();
         let rm = RefInt::from_limbs(m.limbs());
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
@@ -322,8 +326,7 @@ mod tests {
                 continue;
             }
             let inv = modinv(&a, &m).unwrap();
-            let prod =
-                RefInt::from_limbs(a.limbs()).mulmod(&RefInt::from_limbs(inv.limbs()), &rm);
+            let prod = RefInt::from_limbs(a.limbs()).mulmod(&RefInt::from_limbs(inv.limbs()), &rm);
             assert_eq!(prod, RefInt::one());
         }
     }

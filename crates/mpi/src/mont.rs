@@ -278,10 +278,7 @@ mod tests {
             MontError::EvenModulus
         );
         assert_eq!(MontCtx::new(U256::ONE).unwrap_err(), MontError::TooSmall);
-        assert_eq!(
-            MontCtx::new(U256::MAX).unwrap_err(),
-            MontError::TopBitSet
-        );
+        assert_eq!(MontCtx::new(U256::MAX).unwrap_err(), MontError::TopBitSet);
     }
 
     #[test]
@@ -321,15 +318,16 @@ mod tests {
         let p = p25519();
         let ctx = MontCtx::new(p).unwrap();
         let rp = RefInt::from_limbs(p.limbs());
-        let a = U256::from_hex("0x4fe1a2b3c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f708192a3b4c5d6e7f")
-            .unwrap();
-        let b = U256::from_hex("0x123456789abcdef0fedcba9876543210deadbeefcafef00d0123456789abcdef")
-            .unwrap();
+        let a =
+            U256::from_hex("0x4fe1a2b3c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f708192a3b4c5d6e7f")
+                .unwrap();
+        let b =
+            U256::from_hex("0x123456789abcdef0fedcba9876543210deadbeefcafef00d0123456789abcdef")
+                .unwrap();
         let am = ctx.to_mont(&a);
         let bm = ctx.to_mont(&b);
         let got = ctx.from_mont(&ctx.mul(&am, &bm));
-        let expect = RefInt::from_limbs(a.limbs())
-            .mulmod(&RefInt::from_limbs(b.limbs()), &rp);
+        let expect = RefInt::from_limbs(a.limbs()).mulmod(&RefInt::from_limbs(b.limbs()), &rp);
         assert_eq!(got.limbs().to_vec(), expect.to_limbs(4));
     }
 
@@ -354,8 +352,7 @@ mod tests {
         // (p-1)*(p-1)*R^{-1} mod p -- verify against reference.
         let rp = RefInt::from_limbs(p.limbs());
         // R^{-1} mod p = R^(p-2)? easier: redc(t) * R ≡ t (mod p).
-        let lhs = RefInt::from_limbs(m.limbs())
-            .mulmod(&RefInt::one().shl(256), &rp);
+        let lhs = RefInt::from_limbs(m.limbs()).mulmod(&RefInt::one().shl(256), &rp);
         let rhs = RefInt::from_limbs(pm1.limbs()).mulmod(&RefInt::from_limbs(pm1.limbs()), &rp);
         assert_eq!(lhs, rhs);
     }

@@ -320,7 +320,9 @@ mod tests {
 
     #[test]
     fn mixed_patterns() {
-        let a = U256::from_hex("0xdeadbeefcafef00d_0123456789abcdef_fedcba9876543210_ffffffffffffffff").unwrap();
+        let a =
+            U256::from_hex("0xdeadbeefcafef00d_0123456789abcdef_fedcba9876543210_ffffffffffffffff")
+                .unwrap();
         let b = U256::from_hex("0x1_0000000000000000_ffffffffffffffff_8000000000000000").unwrap();
         check_against_reference(a, b);
         check_against_reference(b, a);

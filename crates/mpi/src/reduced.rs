@@ -221,7 +221,10 @@ impl<const N: usize> fmt::Debug for Reduced<N> {
 /// `out.len() != a.len() + b.len()`.
 pub fn mul_ps_slices_57(a: &[u64], b: &[u64], out: &mut [u64]) {
     assert_eq!(out.len(), a.len() + b.len());
-    assert!(a.iter().chain(b).all(|&l| l <= MASK), "inputs must be canonical");
+    assert!(
+        a.iter().chain(b).all(|&l| l <= MASK),
+        "inputs must be canonical"
+    );
     let (mut l, mut h) = (0u64, 0u64);
     for k in 0..out.len() - 1 {
         let lo = k.saturating_sub(b.len() - 1);
@@ -246,7 +249,10 @@ pub fn mul_ps_slices_57(a: &[u64], b: &[u64], out: &mut [u64]) {
 /// the same function.
 pub fn mul_ps_slices_57_isa(a: &[u64], b: &[u64], out: &mut [u64]) {
     assert_eq!(out.len(), a.len() + b.len());
-    assert!(a.iter().chain(b).all(|&l| l <= MASK), "inputs must be canonical");
+    assert!(
+        a.iter().chain(b).all(|&l| l <= MASK),
+        "inputs must be canonical"
+    );
     let mut acc: u128 = 0;
     for k in 0..out.len() - 1 {
         let lo = k.saturating_sub(b.len() - 1);
@@ -345,7 +351,10 @@ impl<const N: usize> MontCtx57<N> {
         if !p.is_canonical() || p.limb(N - 1) >> (RADIX_BITS - 1) != 0 {
             return Err(MontError::TopBitSet);
         }
-        if p.limbs().iter().all(|&l| l <= 1) && p.limb(0) <= 1 && !p.limbs()[1..].iter().any(|&l| l != 0) {
+        if p.limbs().iter().all(|&l| l <= 1)
+            && p.limb(0) <= 1
+            && !p.limbs()[1..].iter().any(|&l| l != 0)
+        {
             return Err(MontError::TooSmall);
         }
         let p_inv = neg_inv_57(p.limb(0));
@@ -497,7 +506,12 @@ mod tests {
 
     #[test]
     fn uint_round_trip() {
-        for hex in ["0x0", "0x1", "0xffffffffffffffff", "0x123456789abcdef0aabbccdd"] {
+        for hex in [
+            "0x0",
+            "0x1",
+            "0xffffffffffffffff",
+            "0x123456789abcdef0aabbccdd",
+        ] {
             let u = U128x::from_hex(hex).unwrap();
             let r: Reduced<3> = Reduced::from_uint(&u);
             assert!(r.is_canonical());
@@ -507,7 +521,8 @@ mod tests {
 
     #[test]
     fn lazy_add_then_propagate() {
-        let a: Reduced<3> = Reduced::from_uint(&U128x::from_hex("0xffffffffffffffffffffffffffffffff").unwrap());
+        let a: Reduced<3> =
+            Reduced::from_uint(&U128x::from_hex("0xffffffffffffffffffffffffffffffff").unwrap());
         let s = a.add_lazy(&a);
         assert!(!s.is_canonical());
         let prop = s.propagate();

@@ -603,7 +603,10 @@ pub fn parse_program(src: &str, ext: &IsaExtension) -> Result<Program, AsmError>
         while let Some(colon) = rest.find(':') {
             let (name, tail) = rest.split_at(colon);
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
             {
                 break;
             }
@@ -626,8 +629,7 @@ pub fn parse_program(src: &str, ext: &IsaExtension) -> Result<Program, AsmError>
         };
 
         let reg = |s: &str| -> Result<Reg, AsmError> {
-            s.parse::<Reg>()
-                .map_err(|e| perr(e.to_string()))
+            s.parse::<Reg>().map_err(|e| perr(e.to_string()))
         };
         let imm = |s: &str| -> Result<i64, AsmError> {
             let s = s.trim();
@@ -645,8 +647,12 @@ pub fn parse_program(src: &str, ext: &IsaExtension) -> Result<Program, AsmError>
         };
         // `offset(base)` operand for loads/stores.
         let mem_operand = |s: &str| -> Result<(i32, Reg), AsmError> {
-            let open = s.find('(').ok_or_else(|| perr(format!("expected offset(base), got `{s}`")))?;
-            let close = s.rfind(')').ok_or_else(|| perr(format!("missing `)` in `{s}`")))?;
+            let open = s
+                .find('(')
+                .ok_or_else(|| perr(format!("expected offset(base), got `{s}`")))?;
+            let close = s
+                .rfind(')')
+                .ok_or_else(|| perr(format!("missing `)` in `{s}`")))?;
             let off = if s[..open].trim().is_empty() {
                 0
             } else {
@@ -785,7 +791,13 @@ pub fn parse_program(src: &str, ext: &IsaExtension) -> Result<Program, AsmError>
         } else if let Some(def) = ext.by_mnemonic(mnemonic) {
             if def.format.has_rs3() {
                 want(4)?;
-                a.custom_r4(def.id, reg(ops[0])?, reg(ops[1])?, reg(ops[2])?, reg(ops[3])?);
+                a.custom_r4(
+                    def.id,
+                    reg(ops[0])?,
+                    reg(ops[1])?,
+                    reg(ops[2])?,
+                    reg(ops[3])?,
+                );
             } else {
                 want(4)?;
                 a.custom_shamt(

@@ -360,10 +360,7 @@ mod tests {
     fn word_ops_sign_extend() {
         assert_eq!(eval_alu(AluOp::Addw, 0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
         assert_eq!(eval_alu_imm(AluImmOp::Addiw, 0xffff_ffff, 1), 0);
-        assert_eq!(
-            eval_alu(AluOp::Sllw, 1, 31),
-            0xffff_ffff_8000_0000u64
-        );
+        assert_eq!(eval_alu(AluOp::Sllw, 1, 31), 0xffff_ffff_8000_0000u64);
     }
 
     #[test]
@@ -443,8 +440,15 @@ mod tests {
         let ext = IsaExtension::new("none");
         let mut c = Cpu::new();
         c.pc = 40;
-        c.step(&Inst::Jal { rd: Reg::Ra, offset: 16 }, &mut mem, &ext)
-            .unwrap();
+        c.step(
+            &Inst::Jal {
+                rd: Reg::Ra,
+                offset: 16,
+            },
+            &mut mem,
+            &ext,
+        )
+        .unwrap();
         assert_eq!(c.read_reg(Reg::Ra), 44);
         assert_eq!(c.pc, 56);
         c.step(
@@ -466,7 +470,10 @@ mod tests {
         let ext = IsaExtension::new("none");
         let mut c = Cpu::new();
         assert_eq!(c.step(&Inst::Ebreak, &mut mem, &ext), Err(Trap::Breakpoint));
-        assert_eq!(c.step(&Inst::Ecall, &mut mem, &ext), Err(Trap::EnvironmentCall));
+        assert_eq!(
+            c.step(&Inst::Ecall, &mut mem, &ext),
+            Err(Trap::EnvironmentCall)
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl fmt::Display for EncodeError {
                 write!(f, "immediate of `{inst}` does not fit in {bits} bits")
             }
             EncodeError::MisalignedOffset(inst) => {
-                write!(f, "control-transfer offset of `{inst}` is not 2-byte aligned")
+                write!(
+                    f,
+                    "control-transfer offset of `{inst}` is not 2-byte aligned"
+                )
             }
             EncodeError::UnknownCustom(inst) => {
                 write!(f, "custom instruction `{inst}` is not registered")
@@ -229,7 +232,13 @@ pub fn encode(inst: &Inst, ext: &IsaExtension) -> Result<u32, EncodeError> {
             if !fits_signed(offset as i64, 12) {
                 return Err(imm_err(12));
             }
-            i_type(OPC_JALR, 0b000, rd.number() as u32, rs1.number() as u32, offset)
+            i_type(
+                OPC_JALR,
+                0b000,
+                rd.number() as u32,
+                rs1.number() as u32,
+                offset,
+            )
         }
         Inst::Branch {
             op,

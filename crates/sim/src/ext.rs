@@ -196,7 +196,10 @@ impl std::error::Error for ConflictError {}
 impl IsaExtension {
     /// Creates an empty extension with a human-readable name.
     pub fn new(name: &'static str) -> Self {
-        IsaExtension { name, defs: Vec::new() }
+        IsaExtension {
+            name,
+            defs: Vec::new(),
+        }
     }
 
     /// The extension's name (e.g. `"Xmpifull"`).
@@ -404,7 +407,10 @@ mod tests {
         let raw = encode_custom(f, Reg::A0, Reg::A1, Reg::A2, Reg::T3, 0);
         assert_eq!(raw & 0x7f, 0b1111011);
         let (rd, rs1, rs2, rs3, imm) = decode_custom_operands(f, raw);
-        assert_eq!((rd, rs1, rs2, rs3, imm), (Reg::A0, Reg::A1, Reg::A2, Reg::T3, 0));
+        assert_eq!(
+            (rd, rs1, rs2, rs3, imm),
+            (Reg::A0, Reg::A1, Reg::A2, Reg::T3, 0)
+        );
     }
 
     #[test]
@@ -417,7 +423,10 @@ mod tests {
         let raw = encode_custom(f, Reg::T0, Reg::T1, Reg::T2, Reg::Zero, 57);
         assert_eq!(raw >> 31, 1);
         let (rd, rs1, rs2, rs3, imm) = decode_custom_operands(f, raw);
-        assert_eq!((rd, rs1, rs2, rs3, imm), (Reg::T0, Reg::T1, Reg::T2, Reg::Zero, 57));
+        assert_eq!(
+            (rd, rs1, rs2, rs3, imm),
+            (Reg::T0, Reg::T1, Reg::T2, Reg::Zero, 57)
+        );
     }
 
     #[test]

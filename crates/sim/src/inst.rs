@@ -485,11 +485,7 @@ impl fmt::Display for Inst {
                 rs2,
                 rs3,
                 imm,
-            } => write!(
-                f,
-                "custom.{} {rd}, {rs1}, {rs2}, {rs3}/{imm}",
-                id.0
-            ),
+            } => write!(f, "custom.{} {rd}, {rs1}, {rs2}, {rs3}/{imm}", id.0),
         }
     }
 }

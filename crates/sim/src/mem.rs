@@ -85,7 +85,9 @@ impl Memory {
         if width > 1 && !addr.is_multiple_of(width) {
             return Err(MemError::Misaligned { addr, width });
         }
-        let end = addr.checked_add(width).ok_or(MemError::OutOfBounds { addr, width })?;
+        let end = addr
+            .checked_add(width)
+            .ok_or(MemError::OutOfBounds { addr, width })?;
         if addr < self.base || end > self.base + self.bytes.len() as u64 {
             return Err(MemError::OutOfBounds { addr, width });
         }

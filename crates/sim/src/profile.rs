@@ -42,11 +42,7 @@ impl InstMix {
 
     /// All `(mnemonic, count)` pairs, most frequent first.
     pub fn sorted(&self) -> Vec<(&str, u64)> {
-        let mut v: Vec<(&str, u64)> = self
-            .counts
-            .iter()
-            .map(|(k, &c)| (k.as_str(), c))
-            .collect();
+        let mut v: Vec<(&str, u64)> = self.counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     }

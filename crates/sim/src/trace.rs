@@ -77,7 +77,11 @@ impl Tracer {
         for e in &self.entries {
             match e.wrote {
                 Some((rd, v)) => {
-                    out.push_str(&format!("{:#8x}: {:32} {rd} = {v:#018x}\n", e.pc, e.inst.to_string()));
+                    out.push_str(&format!(
+                        "{:#8x}: {:32} {rd} = {v:#018x}\n",
+                        e.pc,
+                        e.inst.to_string()
+                    ));
                 }
                 None => out.push_str(&format!("{:#8x}: {}\n", e.pc, e.inst)),
             }

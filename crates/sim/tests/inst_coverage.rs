@@ -1,0 +1,183 @@
+//! Exhaustiveness guard for [`Inst::def`] / [`Inst::uses`].
+//!
+//! The static analyses in `mpise-analyze` derive their dataflow facts
+//! entirely from `def()`/`uses()`, so a new [`Inst`] variant with wrong
+//! (or forgotten) register metadata would silently make the taint
+//! verifier unsound. The `variant_witness` match below has **no
+//! wildcard arm**: adding a variant to [`Inst`] breaks this test's
+//! compilation until a witness — and its expected def/uses below — is
+//! added.
+
+use mpise_sim::ext::CustomId;
+use mpise_sim::inst::{AluImmOp, AluOp, BranchOp, Inst, LoadOp, StoreOp};
+use mpise_sim::Reg;
+
+/// One representative instance per [`Inst`] variant, keyed by variant.
+///
+/// Exhaustive by construction: the match is over a unit "selector"
+/// enum-like list produced from every variant, so the compiler rejects
+/// this file whenever `Inst` grows.
+fn variant_witness(template: &Inst) -> Inst {
+    match *template {
+        Inst::Lui { .. } => Inst::Lui {
+            rd: Reg::T0,
+            imm20: 0x12345,
+        },
+        Inst::Auipc { .. } => Inst::Auipc {
+            rd: Reg::T1,
+            imm20: -1,
+        },
+        Inst::Jal { .. } => Inst::Jal {
+            rd: Reg::Ra,
+            offset: 8,
+        },
+        Inst::Jalr { .. } => Inst::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            offset: 0,
+        },
+        Inst::Branch { .. } => Inst::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -4,
+        },
+        Inst::Load { .. } => Inst::Load {
+            op: LoadOp::Ld,
+            rd: Reg::A4,
+            rs1: Reg::Sp,
+            offset: 16,
+        },
+        Inst::Store { .. } => Inst::Store {
+            op: StoreOp::Sd,
+            rs1: Reg::Sp,
+            rs2: Reg::A4,
+            offset: 24,
+        },
+        Inst::OpImm { .. } => Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: Reg::T2,
+            rs1: Reg::T3,
+            imm: 57,
+        },
+        Inst::Op { .. } => Inst::Op {
+            op: AluOp::Mulhu,
+            rd: Reg::T4,
+            rs1: Reg::T5,
+            rs2: Reg::T6,
+        },
+        Inst::Fence => Inst::Fence,
+        Inst::Ecall => Inst::Ecall,
+        Inst::Ebreak => Inst::Ebreak,
+        Inst::Custom { .. } => Inst::Custom {
+            id: CustomId(0),
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            rs3: Reg::A3,
+            imm: 7,
+        },
+    }
+}
+
+/// Seed templates, one per variant. Kept in one place so
+/// `all_witnesses` visibly enumerates the whole enum; field values are
+/// irrelevant (they are replaced by [`variant_witness`]).
+fn all_witnesses() -> Vec<Inst> {
+    let z = Reg::Zero;
+    [
+        Inst::Lui { rd: z, imm20: 0 },
+        Inst::Auipc { rd: z, imm20: 0 },
+        Inst::Jal { rd: z, offset: 0 },
+        Inst::Jalr {
+            rd: z,
+            rs1: z,
+            offset: 0,
+        },
+        Inst::Branch {
+            op: BranchOp::Beq,
+            rs1: z,
+            rs2: z,
+            offset: 0,
+        },
+        Inst::Load {
+            op: LoadOp::Lb,
+            rd: z,
+            rs1: z,
+            offset: 0,
+        },
+        Inst::Store {
+            op: StoreOp::Sb,
+            rs1: z,
+            rs2: z,
+            offset: 0,
+        },
+        Inst::OpImm {
+            op: AluImmOp::Addi,
+            rd: z,
+            rs1: z,
+            imm: 0,
+        },
+        Inst::Op {
+            op: AluOp::Add,
+            rd: z,
+            rs1: z,
+            rs2: z,
+        },
+        Inst::Fence,
+        Inst::Ecall,
+        Inst::Ebreak,
+        Inst::Custom {
+            id: CustomId(0),
+            rd: z,
+            rs1: z,
+            rs2: z,
+            rs3: z,
+            imm: 0,
+        },
+    ]
+    .iter()
+    .map(variant_witness)
+    .collect()
+}
+
+#[test]
+fn def_and_uses_cover_every_variant() {
+    let witnesses = all_witnesses();
+    // (def, uses, is_control) per witness, in `all_witnesses` order.
+    let expected: Vec<(Option<Reg>, Vec<Reg>, bool)> = vec![
+        (Some(Reg::T0), vec![], false),                          // lui
+        (Some(Reg::T1), vec![], false),                          // auipc
+        (Some(Reg::Ra), vec![], true),                           // jal
+        (Some(Reg::Zero), vec![Reg::Ra], true),                  // jalr
+        (None, vec![Reg::A0, Reg::A1], true),                    // branch
+        (Some(Reg::A4), vec![Reg::Sp], false),                   // load
+        (None, vec![Reg::Sp, Reg::A4], false),                   // store
+        (Some(Reg::T2), vec![Reg::T3], false),                   // op-imm
+        (Some(Reg::T4), vec![Reg::T5, Reg::T6], false),          // op
+        (None, vec![], false),                                   // fence
+        (None, vec![], false),                                   // ecall
+        (None, vec![], false),                                   // ebreak
+        (Some(Reg::A0), vec![Reg::A1, Reg::A2, Reg::A3], false), // custom
+    ];
+    assert_eq!(witnesses.len(), expected.len());
+    for (inst, (def, uses, is_control)) in witnesses.iter().zip(expected) {
+        assert_eq!(inst.def(), def, "{inst}: wrong def()");
+        assert_eq!(inst.uses(), uses, "{inst}: wrong uses()");
+        assert_eq!(inst.is_control(), is_control, "{inst}: wrong is_control()");
+    }
+}
+
+#[test]
+fn defs_and_uses_only_name_operand_registers() {
+    // Sanity over the witnesses: no instruction may report more than
+    // one destination or more than three sources, and every reported
+    // register must round-trip through its 5-bit number.
+    for inst in all_witnesses() {
+        let uses = inst.uses();
+        assert!(uses.len() <= 3, "{inst}: too many sources");
+        for r in uses.iter().chain(inst.def().iter()) {
+            assert_eq!(Reg::from_number(r.number()), Some(*r));
+        }
+    }
+}

@@ -77,9 +77,13 @@ fn run(source: &str, ext: IsaExtension) -> (u64, u64, u64, u64, u64) {
 
 fn main() {
     let (l1, h1, e1, n1, c1) = run(ISA_SOURCE, IsaExtension::new("rv64im"));
-    println!("ISA-only:      acc = {e1:#x} || {h1:#018x} || {l1:#018x}   ({n1} insts, {c1} cycles)\n");
+    println!(
+        "ISA-only:      acc = {e1:#x} || {h1:#018x} || {l1:#018x}   ({n1} insts, {c1} cycles)\n"
+    );
     let (l2, h2, e2, n2, c2) = run(ISE_SOURCE, full_radix_ext());
-    println!("ISE-supported: acc = {e2:#x} || {h2:#018x} || {l2:#018x}   ({n2} insts, {c2} cycles)\n");
+    println!(
+        "ISE-supported: acc = {e2:#x} || {h2:#018x} || {l2:#018x}   ({n2} insts, {c2} cycles)\n"
+    );
     assert_eq!((l1, h1, e1), (l2, h2, e2), "both variants must agree");
     println!(
         "same result, {:.0}% fewer instructions, {:.2}x faster with the ISE",

@@ -14,10 +14,7 @@ fn main() {
         "{:28} {:>14} {:>14} {:>14} {:>14}",
         "Operation (cycles)", "full ISA", "full ISE", "reduced ISA", "reduced ISE"
     );
-    let all: Vec<_> = Config::ALL
-        .iter()
-        .map(|&c| measure_config(c, 2))
-        .collect();
+    let all: Vec<_> = Config::ALL.iter().map(|&c| measure_config(c, 2)).collect();
     for op in OpKind::ALL {
         print!("{:28}", op.label());
         for column in &all {

@@ -7,9 +7,9 @@
 //! cargo run --release --example hardware_cost
 //! ```
 
+use mpise::hw::generators::{barrel_shifter_right, kogge_stone_adder, ripple_adder};
 use mpise::hw::map::map;
 use mpise::hw::netlist::Netlist;
-use mpise::hw::generators::{barrel_shifter_right, kogge_stone_adder, ripple_adder};
 use mpise::hw::table3;
 
 fn main() {

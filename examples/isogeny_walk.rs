@@ -28,7 +28,12 @@ fn main() {
     let path = [0usize, 1, 2, 25, 73];
     for &i in &path {
         curve = group_action(&field, &mut rng, &curve, &step(1, i));
-        println!("after l_{:<3} ({}-isogeny):  A = {}", i + 1, PRIMES[i], curve.a);
+        println!(
+            "after l_{:<3} ({}-isogeny):  A = {}",
+            i + 1,
+            PRIMES[i],
+            curve.a
+        );
     }
 
     println!("walking back ...");

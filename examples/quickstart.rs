@@ -28,7 +28,10 @@ fn main() {
     println!("  public key A = {}", bob.public.a);
 
     println!("validating public keys (supersingularity check) ...");
-    assert!(validate(&field, &mut rng, &alice.public), "Alice's key invalid");
+    assert!(
+        validate(&field, &mut rng, &alice.public),
+        "Alice's key invalid"
+    );
     assert!(validate(&field, &mut rng, &bob.public), "Bob's key invalid");
     println!("  both keys are supersingular curves  [ok]");
 

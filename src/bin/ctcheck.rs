@@ -1,0 +1,6 @@
+//! Workspace-root alias so `cargo run --bin ctcheck` works without
+//! `-p mpise-bench`; see [`mpise_bench::ctcheck`] for what is checked.
+
+fn main() {
+    std::process::exit(mpise_bench::ctcheck::run());
+}

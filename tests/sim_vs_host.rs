@@ -32,9 +32,18 @@ fn simfp_matches_host_on_random_field_ops() {
             let bv = U512::from_limbs(std::array::from_fn(|_| rng.gen())).shr(2);
             let (sa, sb) = (sim.from_uint(&av), sim.from_uint(&bv));
             let (ha, hb) = (host.from_uint(&av), host.from_uint(&bv));
-            assert_eq!(sim.to_uint(&sim.mul(&sa, &sb)), host.to_uint(&host.mul(&ha, &hb)));
-            assert_eq!(sim.to_uint(&sim.add(&sa, &sb)), host.to_uint(&host.add(&ha, &hb)));
-            assert_eq!(sim.to_uint(&sim.sub(&sa, &sb)), host.to_uint(&host.sub(&ha, &hb)));
+            assert_eq!(
+                sim.to_uint(&sim.mul(&sa, &sb)),
+                host.to_uint(&host.mul(&ha, &hb))
+            );
+            assert_eq!(
+                sim.to_uint(&sim.add(&sa, &sb)),
+                host.to_uint(&host.add(&ha, &hb))
+            );
+            assert_eq!(
+                sim.to_uint(&sim.sub(&sa, &sb)),
+                host.to_uint(&host.sub(&ha, &hb))
+            );
             assert_eq!(sim.to_uint(&sim.sqr(&sa)), host.to_uint(&host.sqr(&ha)));
             assert_eq!(
                 sim.to_uint(&sim.inv(&sa)),
@@ -65,5 +74,8 @@ fn simulated_group_action_equals_host_action() {
     let mut rng = StdRng::seed_from_u64(33);
     let got = group_action(&sim, &mut rng, &PublicKey::BASE, &key);
     assert_eq!(got, expect);
-    assert!(sim.cycles() > 1_000_000, "a real action costs millions of cycles");
+    assert!(
+        sim.cycles() > 1_000_000,
+        "a real action costs millions of cycles"
+    );
 }

@@ -27,7 +27,13 @@ fn table4_shape() {
     assert!(cycles(r_ise, OpKind::FpSqr) < cycles(f_ise, OpKind::FpSqr));
 
     // The ISEs accelerate every multiplicative kernel.
-    for op in [OpKind::IntMul, OpKind::IntSqr, OpKind::MontRedc, OpKind::FpMul, OpKind::FpSqr] {
+    for op in [
+        OpKind::IntMul,
+        OpKind::IntSqr,
+        OpKind::MontRedc,
+        OpKind::FpMul,
+        OpKind::FpSqr,
+    ] {
         assert!(cycles(f_ise, op) < cycles(f_isa, op), "{op:?} full");
         assert!(cycles(r_ise, op) < cycles(r_isa, op), "{op:?} reduced");
     }
@@ -71,9 +77,18 @@ fn table4_speedup_band() {
     let base = cycles(&cols[0], OpKind::FpMul) as f64;
     let full = base / cycles(&cols[1], OpKind::FpMul) as f64;
     let red = base / cycles(&cols[3], OpKind::FpMul) as f64;
-    assert!((1.2..2.2).contains(&full), "full-radix ISE Fp-mul speedup {full:.2}");
-    assert!((1.5..2.6).contains(&red), "reduced-radix ISE Fp-mul speedup {red:.2}");
-    assert!(red > full, "reduced radix must profit more (the paper's conclusion)");
+    assert!(
+        (1.2..2.2).contains(&full),
+        "full-radix ISE Fp-mul speedup {full:.2}"
+    );
+    assert!(
+        (1.5..2.6).contains(&red),
+        "reduced-radix ISE Fp-mul speedup {red:.2}"
+    );
+    assert!(
+        red > full,
+        "reduced radix must profit more (the paper's conclusion)"
+    );
 }
 
 #[test]

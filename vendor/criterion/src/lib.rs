@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crates.io mirror, so this
+//! workspace vendors the API subset of `criterion 0.5` that the bench
+//! targets use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function` (with `&str` or [`BenchmarkId`]),
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Instead of statistics it reports a single mean wall-clock time per
+//! benchmark. Because `cargo test` also builds and runs
+//! `harness = false` bench targets, the runner defaults to **one
+//! timed iteration** per benchmark; pass `--bench` on the command
+//! line (as `cargo bench` does) to get a calibrated timed run.
+
+use std::time::{Duration, Instant};
+
+/// Runs closures and counts iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A two-part benchmark name (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Iterations per benchmark (1 in smoke mode, more under
+    /// `cargo bench`).
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench`; `cargo test`
+        // invokes it with `--test` (or nothing). Only do a timed run in
+        // the former so tests stay fast.
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            iters: if timed { 100 } else { 1 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let iters = self.iters;
+        run_one(&id.into_id(), iters, &mut f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u64, f: &mut F) {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher
+        .elapsed
+        .checked_div(iters.max(1) as u32)
+        .unwrap_or_default();
+    println!("bench: {name:<40} {per_iter:>12.2?}/iter ({iters} iters)");
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke runner ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.criterion.iters, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark_once_in_smoke_mode() {
+        let mut c = Criterion { iters: 1 };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("plain", |b| b.iter(|| runs += 1));
+        g.bench_function(BenchmarkId::new("id", "param"), |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_parts() {
+        assert_eq!(BenchmarkId::new("mul", "full-radix").id, "mul/full-radix");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}
