@@ -11,11 +11,13 @@
 //! | `table4`   | Table 4 — cycle counts of all operations + group action|
 //! | `listings` | Listings 1–4 — MAC instruction counts and latencies   |
 //! | `figures`  | Figures 1–3 — instruction encodings and semantics     |
+//! | `bench`    | Full benchmark pipeline → `BENCH_<date>.json`         |
 //!
 //! This library holds the paper's reference numbers (for side-by-side
 //! printing) and small formatting helpers shared by the binaries.
 
 pub mod ctcheck;
+pub mod pipeline;
 
 use mpise_fp::kernels::OpKind;
 

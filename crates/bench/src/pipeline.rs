@@ -1,0 +1,650 @@
+//! `bench` — the reproducible benchmark pipeline.
+//!
+//! One binary (`cargo run --release --bin bench`) measures everything
+//! the paper's evaluation (Tables 4–5) is built from and writes a
+//! machine-readable `BENCH_<date>.json`:
+//!
+//! 1. **Kernel matrix** — all four configurations × all eight Fp
+//!    operations, executed on the Rocket pipeline model with one worker
+//!    thread per configuration
+//!    ([`mpise_fp::measure::measure_matrix_parallel`]). Every kernel is
+//!    validated against the host arithmetic on random inputs and
+//!    checked to be constant-time before its cycle count is reported.
+//! 2. **CSIDH-512 group action** — the Table 4 bottom row, estimated as
+//!    Σ op-count × per-op cycles with op counts from an instrumented
+//!    host run, plus (in full mode) a direct full-simulation run whose
+//!    public key is validated against the host backend.
+//! 3. **Host throughput** — wall-clock simulated-instructions-per-
+//!    second of the interpreter itself, so regressions in the
+//!    simulator's own hot path are visible, not just regressions in the
+//!    simulated cycle counts.
+//!
+//! The pipeline doubles as a regression gate: it exits non-zero when
+//! any ISE-supported configuration fails to beat its radix-matched
+//! RV64GC (ISA-only) baseline in simulated cycles — both summed over
+//! the kernel matrix and on the group-action estimate. CI runs
+//! `bench --smoke` (reduced iteration counts, no direct simulation)
+//! and archives the JSON as an artifact.
+//!
+//! All simulated numbers are deterministic: fixed seeds, constant-time
+//! kernels. Two runs with the same options produce byte-identical
+//! `kernels` and `action_estimate` sections (the golden test in
+//! `tests/bench_golden.rs` enforces this); only the `host` section
+//! varies with the machine the pipeline runs on.
+
+use mpise_csidh::{group_action, PrivateKey, PublicKey};
+use mpise_fp::kernels::{Config, IseMode, OpKind};
+use mpise_fp::measure::{measure_matrix_parallel, KernelRunner, OpMeasurement};
+use mpise_fp::simfp::SimFp;
+use mpise_fp::{CountingFp, FpFull, OpCounts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Seed shared by every deterministic stage of the pipeline.
+pub const BENCH_SEED: u64 = 0xC51D;
+
+/// What to run and where to put the result.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Reduced matrix for CI: one validation iteration per kernel,
+    /// exponent bound ±1 for the instrumented action, a short host
+    /// throughput window, and no direct-simulation action run.
+    pub smoke: bool,
+    /// Additionally run the direct-simulation group action on *all*
+    /// four configurations (slow) instead of only the headline one.
+    pub full_sim: bool,
+    /// Output path; `None` = `BENCH_<utc-date>.json` in the working
+    /// directory.
+    pub out: Option<String>,
+}
+
+impl BenchOptions {
+    /// Validation iterations per kernel.
+    pub fn iterations(&self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Exponent bound of the instrumented group action.
+    pub fn action_bound(&self) -> i8 {
+        if self.smoke {
+            1
+        } else {
+            5
+        }
+    }
+
+    /// Host-throughput measurement window per configuration (seconds).
+    pub fn throughput_secs(&self) -> f64 {
+        if self.smoke {
+            0.15
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Group-action cost of one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ActionEstimate {
+    /// The configuration.
+    pub config: Config,
+    /// Estimated cycles (Σ op-count × per-op cycles).
+    pub cycles: u64,
+}
+
+/// Direct full-simulation group-action measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ActionSim {
+    /// The configuration.
+    pub config: Config,
+    /// Simulated cycles spent in field kernels.
+    pub cycles: u64,
+    /// Field-kernel calls issued by the action.
+    pub calls: u64,
+    /// Host seconds the simulation took.
+    pub host_secs: f64,
+}
+
+/// Host-side interpreter throughput for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostThroughput {
+    /// The configuration.
+    pub config: Config,
+    /// Simulated instructions retired during the window.
+    pub sim_instret: u64,
+    /// Kernel calls during the window.
+    pub calls: u64,
+    /// Host seconds elapsed.
+    pub host_secs: f64,
+}
+
+impl HostThroughput {
+    /// Simulated instructions per host second (millions).
+    pub fn mips(&self) -> f64 {
+        self.sim_instret as f64 / self.host_secs / 1e6
+    }
+}
+
+/// Everything one pipeline run produced.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Options the run used.
+    pub options: BenchOptions,
+    /// Kernel matrix in [`Config::ALL`] order.
+    pub matrix: Vec<(Config, Vec<OpMeasurement>)>,
+    /// Op counts of the instrumented group action.
+    pub action_counts: OpCounts,
+    /// Estimated action cost per configuration.
+    pub action_estimates: Vec<ActionEstimate>,
+    /// Direct-simulation action runs (empty in smoke mode).
+    pub action_sims: Vec<ActionSim>,
+    /// Interpreter throughput per configuration.
+    pub host: Vec<HostThroughput>,
+    /// `Ok(())` when every ISE config beats its RV64GC baseline.
+    pub gate: Result<(), String>,
+}
+
+/// Runs the kernel matrix (parallel over configurations) and validates
+/// every kernel against the host arithmetic.
+pub fn kernel_matrix(iterations: usize) -> Vec<(Config, Vec<OpMeasurement>)> {
+    measure_matrix_parallel(iterations)
+}
+
+fn cycles_of(matrix: &[(Config, Vec<OpMeasurement>)], config: Config, op: OpKind) -> u64 {
+    matrix
+        .iter()
+        .find(|(c, _)| *c == config)
+        .and_then(|(_, ms)| ms.iter().find(|m| m.op == op))
+        .map(|m| m.cycles)
+        .expect("matrix covers every config × op")
+}
+
+fn isa_baseline(config: Config) -> Config {
+    Config {
+        radix: config.radix,
+        ise: IseMode::IsaOnly,
+    }
+}
+
+/// Instruments the group action on the host backend (fixed seed) and
+/// returns its field-operation counts.
+pub fn instrument_action(bound: i8) -> OpCounts {
+    let counting = CountingFp::new(FpFull::new());
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let key = PrivateKey::random_with_bound(&mut rng, bound);
+    let _ = group_action(&counting, &mut rng, &PublicKey::BASE, &key);
+    counting.counts()
+}
+
+/// Estimates the action cost of every configuration from the kernel
+/// matrix and the instrumented op counts (the default Table 4 mode).
+pub fn estimate_actions(
+    matrix: &[(Config, Vec<OpMeasurement>)],
+    counts: &OpCounts,
+) -> Vec<ActionEstimate> {
+    Config::ALL
+        .iter()
+        .map(|&config| ActionEstimate {
+            config,
+            cycles: counts.mul * cycles_of(matrix, config, OpKind::FpMul)
+                + counts.sqr * cycles_of(matrix, config, OpKind::FpSqr)
+                + counts.add * cycles_of(matrix, config, OpKind::FpAdd)
+                + counts.sub * cycles_of(matrix, config, OpKind::FpSub),
+        })
+        .collect()
+}
+
+/// Runs the group action with every field operation executed on the
+/// simulator and validates the resulting public key against the host
+/// backend.
+///
+/// # Panics
+///
+/// Panics when the simulated action disagrees with the host action — a
+/// simulator or kernel bug.
+pub fn simulate_action(config: Config, bound: i8) -> ActionSim {
+    let host = FpFull::new();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let key = PrivateKey::random_with_bound(&mut rng, bound);
+    let pk_host = group_action(&host, &mut rng, &PublicKey::BASE, &key);
+
+    let sim = SimFp::new(config);
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let key2 = PrivateKey::random_with_bound(&mut rng, bound);
+    assert_eq!(key, key2, "deterministic key derivation");
+    let t0 = Instant::now();
+    let pk_sim = group_action(&sim, &mut rng, &PublicKey::BASE, &key2);
+    let host_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        pk_sim, pk_host,
+        "{config}: simulated action disagrees with the host action"
+    );
+    ActionSim {
+        config,
+        cycles: sim.cycles(),
+        calls: sim.calls(),
+        host_secs,
+    }
+}
+
+/// Measures host-side interpreter throughput for one configuration by
+/// running the Fp-multiplication kernel back-to-back for at least
+/// `min_secs`.
+pub fn host_throughput(config: Config, min_secs: f64) -> HostThroughput {
+    let mut runner = KernelRunner::new(config);
+    let n = config.elem_words();
+    let a = vec![3u64; n];
+    let b = vec![5u64; n];
+    let inputs: [&[u64]; 2] = [&a, &b];
+    // Warm-up call (machine construction, cache warming).
+    let _ = runner.run_full(OpKind::FpMul, &inputs);
+    let mut sim_instret = 0u64;
+    let mut calls = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let (_, stats) = runner.run_full(OpKind::FpMul, &inputs);
+        sim_instret += stats.instret;
+        calls += 1;
+        if t0.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    HostThroughput {
+        config,
+        sim_instret,
+        calls,
+        host_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// The regression gate: every ISE-supported configuration must beat its
+/// radix-matched RV64GC (ISA-only) baseline in simulated cycles, both
+/// summed over the kernel matrix and on the group-action estimate.
+///
+/// # Errors
+///
+/// Returns a description of every violated comparison.
+pub fn check_gate(
+    matrix: &[(Config, Vec<OpMeasurement>)],
+    estimates: &[ActionEstimate],
+) -> Result<(), String> {
+    let mut violations = Vec::new();
+    for &config in &Config::ALL {
+        if config.ise != IseMode::IseSupported {
+            continue;
+        }
+        let baseline = isa_baseline(config);
+        let sum =
+            |c: Config| -> u64 { OpKind::ALL.iter().map(|&op| cycles_of(matrix, c, op)).sum() };
+        let (ise_sum, isa_sum) = (sum(config), sum(baseline));
+        if ise_sum >= isa_sum {
+            violations.push(format!(
+                "{config}: kernel-matrix total {ise_sum} cycles is not below the \
+                 RV64GC baseline's {isa_sum}"
+            ));
+        }
+        let est = |c: Config| -> u64 {
+            estimates
+                .iter()
+                .find(|e| e.config == c)
+                .expect("estimate per config")
+                .cycles
+        };
+        let (ise_act, isa_act) = (est(config), est(baseline));
+        if ise_act >= isa_act {
+            violations.push(format!(
+                "{config}: estimated action {ise_act} cycles is not below the \
+                 RV64GC baseline's {isa_act}"
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations.join("; "))
+    }
+}
+
+/// Runs the whole pipeline with the given options.
+pub fn run_pipeline(options: BenchOptions) -> BenchReport {
+    eprintln!(
+        "bench: measuring the kernel matrix (4 configs x 8 ops, {} iteration(s), parallel) ...",
+        options.iterations()
+    );
+    let t0 = Instant::now();
+    let matrix = kernel_matrix(options.iterations());
+    eprintln!("bench: kernel matrix done in {:.2?}", t0.elapsed());
+
+    eprintln!(
+        "bench: instrumenting the group action (exponent bound +/-{}) ...",
+        options.action_bound()
+    );
+    let action_counts = instrument_action(options.action_bound());
+    let action_estimates = estimate_actions(&matrix, &action_counts);
+
+    let mut action_sims = Vec::new();
+    if !options.smoke {
+        let sim_configs: Vec<Config> = if options.full_sim {
+            Config::ALL.to_vec()
+        } else {
+            // The paper's headline configuration (reduced-radix ISE).
+            vec![Config::ALL[3]]
+        };
+        for config in sim_configs {
+            eprintln!("bench: direct-simulating the group action on {config} (bound +/-1) ...");
+            action_sims.push(simulate_action(config, 1));
+        }
+    }
+
+    eprintln!(
+        "bench: measuring interpreter host throughput ({:.2}s per config) ...",
+        options.throughput_secs()
+    );
+    let host: Vec<HostThroughput> = Config::ALL
+        .iter()
+        .map(|&c| host_throughput(c, options.throughput_secs()))
+        .collect();
+
+    let gate = check_gate(&matrix, &action_estimates);
+    BenchReport {
+        options,
+        matrix,
+        action_counts,
+        action_estimates,
+        action_sims,
+        host,
+        gate,
+    }
+}
+
+/// Serializes the deterministic kernel-matrix section (the part the
+/// golden test compares byte-for-byte).
+pub fn kernels_json(matrix: &[(Config, Vec<OpMeasurement>)]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (config, measurements) in matrix {
+        let col = Config::ALL
+            .iter()
+            .position(|c| c == config)
+            .expect("known config");
+        for m in measurements {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let baseline = cycles_from(matrix, isa_baseline(*config), m.op);
+            out.push_str(&format!(
+                "    {{\"config\": \"{config}\", \"radix\": \"{}\", \"ise\": {}, \
+                 \"op\": \"{:?}\", \"label\": \"{}\", \"cycles\": {}, \"instret\": {}, \
+                 \"stall_cycles\": {}, \"flush_cycles\": {}, \
+                 \"speedup_vs_rv64gc\": {:.4}, \"paper_cycles\": {}}}",
+                config.radix,
+                config.ise == IseMode::IseSupported,
+                m.op,
+                m.op.label(),
+                m.cycles,
+                m.instret,
+                m.timing.stall_cycles,
+                m.timing.flush_cycles,
+                baseline as f64 / m.cycles as f64,
+                crate::paper_cycles(m.op, col),
+            ));
+        }
+    }
+    out.push_str("\n  ]");
+    out
+}
+
+fn cycles_from(matrix: &[(Config, Vec<OpMeasurement>)], config: Config, op: OpKind) -> u64 {
+    cycles_of(matrix, config, op)
+}
+
+/// Serializes the deterministic action-estimate section.
+pub fn action_json(counts: &OpCounts, estimates: &[ActionEstimate], sims: &[ActionSim]) -> String {
+    let base = estimates
+        .iter()
+        .find(|e| e.config == Config::ALL[0])
+        .expect("full-ISA estimate")
+        .cycles;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n    \"op_counts\": {{\"mul\": {}, \"sqr\": {}, \"add\": {}, \"sub\": {}}},\n",
+        counts.mul, counts.sqr, counts.add, counts.sub
+    ));
+    out.push_str("    \"estimated\": [\n");
+    for (i, e) in estimates.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"config\": \"{}\", \"cycles\": {}, \"mcycles\": {:.2}, \
+             \"speedup_vs_full_isa\": {:.4}}}{}\n",
+            e.config,
+            e.cycles,
+            e.cycles as f64 / 1e6,
+            base as f64 / e.cycles as f64,
+            if i + 1 < estimates.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ],\n    \"direct_sim\": [\n");
+    for (i, s) in sims.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"config\": \"{}\", \"cycles\": {}, \"kernel_calls\": {}, \
+             \"host_secs\": {:.2}, \"validated_vs_host\": true}}{}\n",
+            s.config,
+            s.cycles,
+            s.calls,
+            s.host_secs,
+            if i + 1 < sims.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("    ]\n  }");
+    out
+}
+
+/// Serializes the whole report (see DESIGN.md §9 for the schema).
+pub fn report_json(report: &BenchReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mpise-bench/v1\",\n");
+    out.push_str(&format!("  \"date\": \"{}\",\n", utc_date_string()));
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if report.options.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    ));
+    out.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    out.push_str(&format!(
+        "  \"iterations\": {},\n  \"action_exponent_bound\": {},\n",
+        report.options.iterations(),
+        report.options.action_bound()
+    ));
+    out.push_str(&format!(
+        "  \"kernels\": {},\n",
+        kernels_json(&report.matrix)
+    ));
+    out.push_str(&format!(
+        "  \"action\": {},\n",
+        action_json(
+            &report.action_counts,
+            &report.action_estimates,
+            &report.action_sims
+        )
+    ));
+    out.push_str("  \"host\": [\n");
+    for (i, h) in report.host.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"sim_instret\": {}, \"kernel_calls\": {}, \
+             \"host_secs\": {:.3}, \"sim_insts_per_sec\": {:.0}}}{}\n",
+            h.config,
+            h.sim_instret,
+            h.calls,
+            h.host_secs,
+            h.sim_instret as f64 / h.host_secs,
+            if i + 1 < report.host.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"gate\": {{\"ise_faster_than_rv64gc\": {}}}\n",
+        report.gate.is_ok()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// `YYYY-MM-DD` in UTC, without external date crates (civil-from-days,
+/// Hinnant's algorithm).
+pub fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Command-line entry point shared by the `bench` binaries; returns the
+/// process exit code (0 = gate passed).
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut options = BenchOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--full-sim" => options.full_sim = true,
+            "--out" => match iter.next() {
+                Some(path) => options.out = Some(path.clone()),
+                None => {
+                    eprintln!("bench: --out requires a path");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench [--smoke] [--full-sim] [--out PATH]\n\
+                     \n\
+                     --smoke     reduced CI matrix (1 iteration, bound +/-1, no direct sim)\n\
+                     --full-sim  direct-simulate the group action on all four configs\n\
+                     --out PATH  output path (default BENCH_<utc-date>.json)"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("bench: unknown argument `{other}` (try --help)");
+                return 2;
+            }
+        }
+    }
+
+    let report = run_pipeline(options.clone());
+    print_summary(&report);
+
+    let path = report
+        .options
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", utc_date_string()));
+    let json = report_json(&report);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("bench: failed to write {path}: {e}");
+        return 2;
+    }
+    println!("\nwrote {path}");
+
+    match &report.gate {
+        Ok(()) => {
+            println!("gate: every ISE configuration beats its RV64GC baseline — PASS");
+            0
+        }
+        Err(e) => {
+            println!("gate: FAIL — {e}");
+            1
+        }
+    }
+}
+
+fn print_summary(report: &BenchReport) {
+    println!(
+        "{:28} {:>14} {:>14} {:>14} {:>14}",
+        "Operation (cycles)", "full ISA", "full ISE", "reduced ISA", "reduced ISE"
+    );
+    for op in OpKind::ALL {
+        print!("{:28}", op.label());
+        for &config in &Config::ALL {
+            print!(" {:>14}", cycles_of(&report.matrix, config, op));
+        }
+        println!();
+    }
+    print!("{:28}", "CSIDH action (est. Mcycles)");
+    for e in &report.action_estimates {
+        print!(" {:>14.1}", e.cycles as f64 / 1e6);
+    }
+    println!();
+    for s in &report.action_sims {
+        println!(
+            "direct sim action on {}: {:.1}M cycles ({} kernel calls, {:.1}s host, matches host)",
+            s.config,
+            s.cycles as f64 / 1e6,
+            s.calls,
+            s.host_secs
+        );
+    }
+    println!();
+    for h in &report.host {
+        println!(
+            "interpreter throughput, {:32} {:>8.2}M sim insts/sec ({} calls)",
+            format!("{}:", h.config),
+            h.mips(),
+            h.calls
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_passes_on_real_kernels_and_catches_inversions() {
+        let matrix = kernel_matrix(1);
+        let counts = OpCounts {
+            mul: 1000,
+            sqr: 800,
+            add: 400,
+            sub: 300,
+        };
+        let estimates = estimate_actions(&matrix, &counts);
+        check_gate(&matrix, &estimates).expect("ISEs beat their baselines");
+
+        // Swapping the ISE and ISA columns must trip the gate.
+        let mut swapped = matrix;
+        swapped.swap(0, 1);
+        let (a, b) = (swapped[0].0, swapped[1].0);
+        swapped[0].0 = b;
+        swapped[1].0 = a;
+        let bad_estimates = estimate_actions(&swapped, &counts);
+        assert!(check_gate(&swapped, &bad_estimates).is_err());
+    }
+
+    #[test]
+    fn date_is_well_formed() {
+        let d = utc_date_string();
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+    }
+}

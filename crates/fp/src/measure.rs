@@ -10,11 +10,11 @@ use crate::kernels::{const_pool_full, const_pool_red, Config, KernelSet, OpKind,
 use crate::params::{Csidh512, FULL_LIMBS, RED_LIMBS};
 use mpise_mpi::reference::RefInt;
 use mpise_mpi::{mul as mpi_mul, Reduced, U512};
-use mpise_sim::machine::DATA_BASE;
+use mpise_sim::machine::{RunStats, DATA_BASE};
+use mpise_sim::timing::TimingStats;
 use mpise_sim::{Machine, Reg};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// Memory layout offsets (relative to [`DATA_BASE`]).
 const RESULT_OFF: u64 = 0x000;
@@ -27,7 +27,10 @@ const CONST_OFF: u64 = 0x300;
 pub struct KernelRunner {
     /// The configuration being run.
     pub config: Config,
-    machines: BTreeMap<OpKind, Machine>,
+    /// One pre-loaded machine per operation, indexed by `op as usize`
+    /// (a fixed array, not a map — [`KernelRunner::run`] sits on the
+    /// full-simulation hot path of [`crate::simfp::SimFp`]).
+    machines: [Option<Machine>; OpKind::ALL.len()],
 }
 
 impl KernelRunner {
@@ -39,14 +42,14 @@ impl KernelRunner {
             Radix::Full => const_pool_full(),
             Radix::Reduced => const_pool_red(),
         };
-        let mut machines = BTreeMap::new();
+        let mut machines: [Option<Machine>; OpKind::ALL.len()] = std::array::from_fn(|_| None);
         for (op, prog) in set.iter() {
             let mut m = Machine::with_ext(config.extension());
             m.load_program(prog);
             m.mem
                 .write_limbs(DATA_BASE + CONST_OFF, &pool)
                 .expect("constant pool fits");
-            machines.insert(op, m);
+            machines[op as usize] = Some(m);
         }
         KernelRunner { config, machines }
     }
@@ -59,9 +62,21 @@ impl KernelRunner {
     /// Panics if the kernel traps — generated kernels are straight-line
     /// and must not fault.
     pub fn run(&mut self, op: OpKind, inputs: &[&[u64]]) -> (Vec<u64>, u64) {
+        let (out, stats) = self.run_full(op, inputs);
+        (out, stats.cycles)
+    }
+
+    /// Like [`KernelRunner::run`] but returns the full per-call
+    /// [`RunStats`] (instret, cycles, per-class timing deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel traps — generated kernels are straight-line
+    /// and must not fault.
+    pub fn run_full(&mut self, op: OpKind, inputs: &[&[u64]]) -> (Vec<u64>, RunStats) {
         assert_eq!(inputs.len(), op.arity(), "wrong operand count for {op:?}");
         let (_, out_words) = op.shape(&self.config);
-        let m = self.machines.get_mut(&op).expect("kernel exists");
+        let m = self.machines[op as usize].as_mut().expect("kernel exists");
         m.mem
             .write_limbs(DATA_BASE + OP1_OFF, inputs[0])
             .expect("operand fits");
@@ -82,7 +97,7 @@ impl KernelRunner {
             .mem
             .read_limbs(DATA_BASE + RESULT_OFF, out_words)
             .expect("result readable");
-        (out, stats.cycles)
+        (out, stats)
     }
 }
 
@@ -93,6 +108,10 @@ pub struct OpMeasurement {
     pub op: OpKind,
     /// Cycles per call on the Rocket pipeline model.
     pub cycles: u64,
+    /// Instructions retired per call.
+    pub instret: u64,
+    /// Per-class retirement and stall counters for one call.
+    pub timing: TimingStats,
 }
 
 /// Generates a random canonical residue (`< p`) in the word layout of
@@ -258,13 +277,29 @@ pub fn validate_and_measure(
     iterations: usize,
     seed: u64,
 ) -> Result<u64, String> {
+    validate_and_measure_full(runner, op, iterations, seed).map(|m| m.cycles)
+}
+
+/// Like [`validate_and_measure`] but returns the full
+/// [`OpMeasurement`] (cycles, instret, per-class timing).
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch: wrong value, value out
+/// of canonical range, or input-dependent timing.
+pub fn validate_and_measure_full(
+    runner: &mut KernelRunner,
+    op: OpKind,
+    iterations: usize,
+    seed: u64,
+) -> Result<OpMeasurement, String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = runner.config;
-    let mut cycles_seen: Option<u64> = None;
+    let mut seen: Option<OpMeasurement> = None;
     for it in 0..iterations {
         let inputs = random_inputs(&mut rng, op, &config);
         let input_refs: Vec<&[u64]> = inputs.iter().map(|v| v.as_slice()).collect();
-        let (out, cycles) = runner.run(op, &input_refs);
+        let (out, stats) = runner.run_full(op, &input_refs);
         let got = words_to_refint(&out, config.radix);
         let (want, modulus) = expected(op, &config, &input_refs);
         let ok = match &modulus {
@@ -276,17 +311,25 @@ pub fn validate_and_measure(
         if !ok {
             return Err(format!("{config}: {op:?} wrong result on iteration {it}"));
         }
-        match cycles_seen {
-            None => cycles_seen = Some(cycles),
-            Some(c) if c != cycles => {
+        match &seen {
+            None => {
+                seen = Some(OpMeasurement {
+                    op,
+                    cycles: stats.cycles,
+                    instret: stats.instret,
+                    timing: stats.timing,
+                });
+            }
+            Some(m) if m.cycles != stats.cycles => {
                 return Err(format!(
-                    "{config}: {op:?} is not constant-time ({c} vs {cycles} cycles)"
+                    "{config}: {op:?} is not constant-time ({} vs {} cycles)",
+                    m.cycles, stats.cycles
                 ));
             }
             _ => {}
         }
     }
-    Ok(cycles_seen.expect("at least one iteration"))
+    Ok(seen.expect("at least one iteration"))
 }
 
 /// Measures all eight Table 4 operations for one configuration,
@@ -300,11 +343,34 @@ pub fn measure_config(config: Config, iterations: usize) -> Vec<OpMeasurement> {
     OpKind::ALL
         .iter()
         .map(|&op| {
-            let cycles = validate_and_measure(&mut runner, op, iterations, 0xC51D + op as u64)
-                .unwrap_or_else(|e| panic!("{e}"));
-            OpMeasurement { op, cycles }
+            validate_and_measure_full(&mut runner, op, iterations, 0xC51D + op as u64)
+                .unwrap_or_else(|e| panic!("{e}"))
         })
         .collect()
+}
+
+/// Measures the whole Table 4 matrix — all four configurations × all
+/// eight operations — with one worker thread per configuration.
+///
+/// Each configuration owns its machines, so the four columns are
+/// embarrassingly parallel; results come back in [`Config::ALL`] order
+/// and are deterministic (same seeds as [`measure_config`]).
+///
+/// # Panics
+///
+/// Panics on any validation failure (a kernel bug) or if a worker
+/// thread panics.
+pub fn measure_matrix_parallel(iterations: usize) -> Vec<(Config, Vec<OpMeasurement>)> {
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = Config::ALL
+            .iter()
+            .map(|&config| scope.spawn(move || (config, measure_config(config, iterations))))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("measurement worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -169,6 +169,11 @@ impl fmt::Debug for CustomInstDef {
 pub struct IsaExtension {
     name: &'static str,
     defs: Vec<CustomInstDef>,
+    /// O(1) id → `defs` index lookup (`defs` index + 1; 0 = absent),
+    /// indexed by `CustomId.0`. The simulator resolves every executed
+    /// custom instruction through [`IsaExtension::by_id`], so this must
+    /// not be a linear scan.
+    id_index: Vec<u32>,
 }
 
 /// Error returned when a custom instruction definition conflicts with an
@@ -199,6 +204,7 @@ impl IsaExtension {
         IsaExtension {
             name,
             defs: Vec::new(),
+            id_index: Vec::new(),
         }
     }
 
@@ -223,6 +229,11 @@ impl IsaExtension {
                 });
             }
         }
+        let slot = def.id.0 as usize;
+        if self.id_index.len() <= slot {
+            self.id_index.resize(slot + 1, 0);
+        }
+        self.id_index[slot] = self.defs.len() as u32 + 1;
         self.defs.push(def);
         Ok(())
     }
@@ -232,9 +243,16 @@ impl IsaExtension {
         &self.defs
     }
 
-    /// Looks up a definition by id.
+    /// Looks up a definition by id (constant time — this sits on the
+    /// simulator's instruction dispatch path).
+    #[inline]
     pub fn by_id(&self, id: CustomId) -> Option<&CustomInstDef> {
-        self.defs.iter().find(|d| d.id == id)
+        let slot = *self.id_index.get(id.0 as usize)?;
+        if slot == 0 {
+            None
+        } else {
+            Some(&self.defs[slot as usize - 1])
+        }
     }
 
     /// Looks up a definition by mnemonic.

@@ -2,11 +2,11 @@
 
 use crate::asm::Program;
 use crate::cpu::{Cpu, Trap};
-use crate::ext::IsaExtension;
+use crate::ext::{CustomArgs, IsaExtension};
 use crate::inst::Inst;
 use crate::mem::Memory;
 use crate::reg::Reg;
-use crate::timing::{PipelineModel, TimingConfig, TimingStats};
+use crate::timing::{PipelineModel, PreDecoded, TimingConfig, TimingStats};
 use crate::trace::Tracer;
 
 /// Default base address of loaded programs.
@@ -40,7 +40,10 @@ pub struct RunStats {
     pub cycles: u64,
     /// Why the run stopped.
     pub halt: Halt,
-    /// Detailed per-class counters.
+    /// Detailed per-class counters **for this run only**: like
+    /// `instret` and `cycles`, a delta between the pipeline counters at
+    /// the start and end of the run, so back-to-back [`Machine::run`]
+    /// calls report disjoint counts that sum to the totals.
     pub timing: TimingStats,
 }
 
@@ -115,10 +118,43 @@ pub struct Machine {
     pub mem: Memory,
     ext: IsaExtension,
     program: Vec<Inst>,
+    /// Per-instruction metadata pre-computed at [`Machine::load_program`]
+    /// time (timing facts, control-flow kind, resolved custom handler),
+    /// parallel to `program`. This is what keeps the fetch→step→retire
+    /// loop free of allocation and extension-registry lookups.
+    pre: Vec<PreInst>,
     prog_base: u64,
     pipeline: PipelineModel,
     fuel: u64,
     tracer: Option<Tracer>,
+}
+
+/// How an instruction interacts with the fetch stream, pre-classified
+/// so the run loop's taken-branch decision is branch-free on the type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlKind {
+    /// Not a control-transfer instruction.
+    None,
+    /// Conditional branch: redirects fetch only when its target differs
+    /// from the fall-through address.
+    CondBranch,
+    /// Unconditional jump (`jal`/`jalr`): always redirects fetch on
+    /// Rocket, even when the target happens to be the fall-through
+    /// address.
+    Jump,
+}
+
+/// One pre-decoded program slot (see [`Machine::load_program`]).
+#[derive(Debug, Clone, Copy)]
+struct PreInst {
+    /// Timing facts consumed by [`PipelineModel::retire_pre`].
+    timing: PreDecoded,
+    /// Control-flow classification for the taken heuristic.
+    control: ControlKind,
+    /// Resolved execution function for registered custom instructions;
+    /// `None` for base-ISA instructions (executed by [`Cpu::step`]) and
+    /// unregistered ids (which trap there).
+    custom_exec: Option<fn(CustomArgs) -> u64>,
 }
 
 impl Default for Machine {
@@ -143,6 +179,7 @@ impl Machine {
             mem: Memory::new(DATA_BASE, DATA_SIZE),
             ext,
             program: Vec::new(),
+            pre: Vec::new(),
             prog_base: PROG_BASE,
             pipeline: PipelineModel::new(TimingConfig::default()),
             fuel: DEFAULT_FUEL,
@@ -175,10 +212,35 @@ impl Machine {
         &self.ext
     }
 
-    /// Loads `program` at [`PROG_BASE`] and points the PC at its first
-    /// instruction.
+    /// Loads `program` at [`PROG_BASE`], points the PC at its first
+    /// instruction, and pre-decodes every instruction (timing facts,
+    /// control-flow kind, resolved custom-instruction handler) so the
+    /// run loop does no per-step lookup or allocation work.
     pub fn load_program(&mut self, program: &Program) {
         self.program = program.insts().to_vec();
+        self.pre = self
+            .program
+            .iter()
+            .map(|inst| {
+                let (unit, custom_exec) = match inst {
+                    Inst::Custom { id, .. } => match self.ext.by_id(*id) {
+                        Some(def) => (Some(def.unit), Some(def.exec)),
+                        None => (None, None),
+                    },
+                    _ => (None, None),
+                };
+                let control = match inst {
+                    Inst::Jal { .. } | Inst::Jalr { .. } => ControlKind::Jump,
+                    Inst::Branch { .. } => ControlKind::CondBranch,
+                    _ => ControlKind::None,
+                };
+                PreInst {
+                    timing: PreDecoded::of(inst, unit),
+                    control,
+                    custom_exec,
+                }
+            })
+            .collect();
         self.cpu.pc = self.prog_base;
     }
 
@@ -193,61 +255,107 @@ impl Machine {
         self.prog_base + 4 * self.program.len() as u64
     }
 
-    fn fetch(&self) -> Result<&Inst, Trap> {
-        let pc = self.cpu.pc;
-        if pc < self.prog_base || !pc.is_multiple_of(4) {
-            return Err(Trap::PcOutOfProgram { pc });
-        }
-        let idx = ((pc - self.prog_base) / 4) as usize;
-        self.program.get(idx).ok_or(Trap::PcOutOfProgram { pc })
-    }
-
     /// Runs from the current PC until `ebreak`, `ecall`, or return to
     /// the sentinel address. The pipeline clock continues from where it
-    /// was; use [`Machine::reset_clock`] between measurements.
+    /// was; use [`Machine::reset_clock`] between measurements. The
+    /// returned [`RunStats`] (`instret`, `cycles` *and* `timing`) are
+    /// all deltas covering this run only.
     ///
     /// # Errors
     ///
     /// [`RunError::Trap`] on faults, [`RunError::OutOfFuel`] when the
     /// instruction budget is exhausted.
     pub fn run(&mut self) -> Result<RunStats, RunError> {
-        let start_instret = self.pipeline.stats().instret();
+        // Monomorphise the loop on tracer presence so the common
+        // untraced path pays nothing for tracing support.
+        if self.tracer.is_some() {
+            self.run_loop::<true>()
+        } else {
+            self.run_loop::<false>()
+        }
+    }
+
+    fn run_loop<const TRACE: bool>(&mut self) -> Result<RunStats, RunError> {
+        let start_timing = *self.pipeline.stats();
         let start_cycles = self.pipeline.cycles();
         let sentinel = self.return_sentinel();
+        let prog_base = self.prog_base;
+        let prog_len = self.program.len();
         let mut fuel = self.fuel;
         loop {
-            if self.cpu.pc == sentinel {
-                return Ok(self.finish_stats(start_instret, start_cycles, Halt::Returned));
+            let pc = self.cpu.pc;
+            if pc == sentinel {
+                return Ok(self.finish_stats(&start_timing, start_cycles, Halt::Returned));
             }
             if fuel == 0 {
                 return Err(RunError::OutOfFuel { fuel: self.fuel });
             }
             fuel -= 1;
 
-            let inst = *self.fetch().map_err(RunError::Trap)?;
-            let pc_before = self.cpu.pc;
-            let result = self.cpu.step(&inst, &mut self.mem, &self.ext);
+            // Fetch: one wrapping subtraction covers the below-base,
+            // misaligned and past-the-end cases at once.
+            let off = pc.wrapping_sub(prog_base);
+            let idx = (off >> 2) as usize;
+            if off & 3 != 0 || idx >= prog_len {
+                return Err(RunError::Trap(Trap::PcOutOfProgram { pc }));
+            }
+            let inst = self.program[idx];
+            let pre = self.pre[idx];
+
+            // Execute. Registered custom instructions take the resolved
+            // fast path (no registry lookup); everything else — base
+            // ISA and unregistered customs, which must trap — goes
+            // through the full `Cpu::step`.
+            let result = match (pre.custom_exec, inst) {
+                (
+                    Some(exec),
+                    Inst::Custom {
+                        rd,
+                        rs1,
+                        rs2,
+                        rs3,
+                        imm,
+                        ..
+                    },
+                ) => {
+                    let v = exec(CustomArgs {
+                        rs1: self.cpu.read_reg(rs1),
+                        rs2: self.cpu.read_reg(rs2),
+                        rs3: self.cpu.read_reg(rs3),
+                        imm,
+                    });
+                    self.cpu.write_reg(rd, v);
+                    self.cpu.pc = pc.wrapping_add(4);
+                    Ok(())
+                }
+                _ => self.cpu.step(&inst, &mut self.mem, &self.ext),
+            };
 
             // Timing: every attempted instruction that architecturally
             // retires (including the trapping ebreak/ecall) is costed.
-            let taken = inst.is_control() && self.cpu.pc != pc_before.wrapping_add(4);
-            let unit = match inst {
-                Inst::Custom { id, .. } => self.ext.by_id(id).map(|d| d.unit),
-                _ => None,
+            // Unconditional jumps always redirect fetch on Rocket, even
+            // to the fall-through address; only conditional branches
+            // use the fall-through comparison.
+            let taken = match pre.control {
+                ControlKind::None => false,
+                ControlKind::CondBranch => self.cpu.pc != pc.wrapping_add(4),
+                ControlKind::Jump => true,
             };
-            self.pipeline.retire(&inst, taken, unit);
-            if let Some(t) = &mut self.tracer {
-                t.record(pc_before, &inst, &self.cpu);
+            self.pipeline.retire_pre(&pre.timing, taken);
+            if TRACE {
+                if let Some(t) = &mut self.tracer {
+                    t.record(pc, &inst, &self.cpu);
+                }
             }
 
             match result {
                 Ok(()) => {}
                 Err(Trap::Breakpoint) => {
-                    return Ok(self.finish_stats(start_instret, start_cycles, Halt::Breakpoint));
+                    return Ok(self.finish_stats(&start_timing, start_cycles, Halt::Breakpoint));
                 }
                 Err(Trap::EnvironmentCall) => {
                     return Ok(self.finish_stats(
-                        start_instret,
+                        &start_timing,
                         start_cycles,
                         Halt::EnvironmentCall,
                     ));
@@ -257,12 +365,13 @@ impl Machine {
         }
     }
 
-    fn finish_stats(&self, start_instret: u64, start_cycles: u64, halt: Halt) -> RunStats {
+    fn finish_stats(&self, start_timing: &TimingStats, start_cycles: u64, halt: Halt) -> RunStats {
+        let timing = self.pipeline.stats().delta(start_timing);
         RunStats {
-            instret: self.pipeline.stats().instret() - start_instret,
+            instret: timing.instret(),
             cycles: self.pipeline.cycles() - start_cycles,
             halt,
-            timing: *self.pipeline.stats(),
+            timing,
         }
     }
 
@@ -384,6 +493,114 @@ mod tests {
             m.run(),
             Err(RunError::Trap(Trap::PcOutOfProgram { .. }))
         ));
+    }
+
+    #[test]
+    fn back_to_back_runs_report_per_run_deltas() {
+        // Regression: `RunStats::timing` used to return the cumulative
+        // per-class counters while `instret`/`cycles` were deltas, so a
+        // second `run()` on the same machine double-counted.
+        let mut a = Assembler::new();
+        a.li(Reg::T0, 3);
+        a.mul(Reg::T1, Reg::T0, Reg::T0);
+        a.ld(Reg::T2, 0, Reg::Sp);
+        a.ebreak();
+        let mut m = Machine::new();
+        m.cpu.write_reg(Reg::Sp, DATA_BASE);
+        m.load_program(&a.finish());
+
+        let s1 = m.run().unwrap();
+        m.cpu.pc = m.prog_base(); // rerun without resetting the clock
+        let s2 = m.run().unwrap();
+
+        for s in [&s1, &s2] {
+            assert_eq!(s.timing.alu, 1, "one li per run");
+            assert_eq!(s.timing.mul, 1, "one mul per run");
+            assert_eq!(s.timing.load, 1, "one load per run");
+            assert_eq!(s.timing.system, 1, "one ebreak per run");
+            assert_eq!(s.timing.instret(), s.instret, "timing sums to instret");
+        }
+        assert_eq!(
+            s1.timing, s2.timing,
+            "identical straight-line runs must report identical deltas"
+        );
+    }
+
+    #[test]
+    fn jal_to_fall_through_pays_redirect_penalty() {
+        // Regression: `jal +4` targets the fall-through address, which
+        // the old `pc != pc + 4` heuristic classified as not-taken; an
+        // unconditional jump always redirects fetch on Rocket.
+        let mut a = Assembler::new();
+        a.push(crate::inst::Inst::Jal {
+            rd: Reg::Zero,
+            offset: 4,
+        });
+        a.ebreak();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        let stats = m.run().unwrap();
+        let penalty = TimingConfig::default().branch_taken_penalty;
+        assert_eq!(stats.timing.flush_cycles, penalty);
+        assert_eq!(stats.cycles, 2 + penalty);
+    }
+
+    #[test]
+    fn conditional_branch_to_fall_through_is_not_taken() {
+        // The fall-through heuristic stays in force for conditional
+        // branches: a taken branch to pc+4 is indistinguishable from
+        // not-taken and costs no redirect.
+        let mut a = Assembler::new();
+        a.push(crate::inst::Inst::Branch {
+            op: crate::inst::BranchOp::Beq,
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+            offset: 4,
+        });
+        a.ebreak();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        let stats = m.run().unwrap();
+        assert_eq!(stats.timing.flush_cycles, 0);
+    }
+
+    #[test]
+    fn custom_fast_path_matches_step_semantics() {
+        use crate::ext::{CustomArgs, CustomFormat, CustomId, CustomInstDef, ExecUnit};
+        fn addx3(a: CustomArgs) -> u64 {
+            a.rs1.wrapping_add(a.rs2).wrapping_add(a.rs3)
+        }
+        let mut ext = IsaExtension::new("t");
+        ext.define(CustomInstDef {
+            id: CustomId(900),
+            mnemonic: "addx3",
+            format: CustomFormat::R4 {
+                opcode: 0b1111011,
+                funct3: 0b111,
+                funct2: 0b00,
+            },
+            exec: addx3,
+            unit: ExecUnit::Xmul,
+        })
+        .unwrap();
+        let mut a = Assembler::new();
+        a.push(crate::inst::Inst::Custom {
+            id: CustomId(900),
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+            rs3: Reg::A3,
+            imm: 0,
+        });
+        a.ebreak();
+        let mut m = Machine::with_ext(ext);
+        m.load_program(&a.finish());
+        m.cpu.write_reg(Reg::A1, 10);
+        m.cpu.write_reg(Reg::A2, 20);
+        m.cpu.write_reg(Reg::A3, 12);
+        let stats = m.run().unwrap();
+        assert_eq!(m.cpu.read_reg(Reg::A0), 42);
+        assert_eq!(stats.timing.custom_xmul, 1);
     }
 
     #[test]

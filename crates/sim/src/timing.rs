@@ -125,6 +125,78 @@ impl TimingStats {
             + self.custom_xmul
             + self.system
     }
+
+    /// Field-wise difference `self − earlier`.
+    ///
+    /// All counters are monotone, so subtracting a snapshot taken at
+    /// the start of a measurement yields the per-run delta. This is how
+    /// [`crate::machine::RunStats::timing`] is produced: every field of
+    /// a [`crate::machine::RunStats`] covers exactly one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not an earlier snapshot
+    /// of the same counter stream (a counter would underflow).
+    pub fn delta(&self, earlier: &TimingStats) -> TimingStats {
+        TimingStats {
+            alu: self.alu - earlier.alu,
+            mul: self.mul - earlier.mul,
+            div: self.div - earlier.div,
+            load: self.load - earlier.load,
+            store: self.store - earlier.store,
+            control: self.control - earlier.control,
+            custom_alu: self.custom_alu - earlier.custom_alu,
+            custom_xmul: self.custom_xmul - earlier.custom_xmul,
+            system: self.system - earlier.system,
+            stall_cycles: self.stall_cycles - earlier.stall_cycles,
+            flush_cycles: self.flush_cycles - earlier.flush_cycles,
+        }
+    }
+}
+
+/// Timing-relevant facts about one instruction, computed once.
+///
+/// [`PipelineModel::retire`] re-derives these on every call (allocating
+/// for the source-register list); a [`crate::Machine`] instead
+/// pre-decodes its whole program into `PreDecoded` records at load time
+/// and feeds them to [`PipelineModel::retire_pre`], which keeps the
+/// per-instruction hot path free of allocation and lookup work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreDecoded {
+    /// Timing class of the instruction.
+    pub class: InstClass,
+    /// Register numbers of the non-`x0` sources (first `nuses` entries).
+    pub uses: [u8; 3],
+    /// Number of live entries in `uses`.
+    pub nuses: u8,
+    /// Destination register number; 0 when the instruction writes no
+    /// register (or writes `x0`, which never creates a hazard).
+    pub def: u8,
+}
+
+impl PreDecoded {
+    /// Pre-decodes one instruction. `custom_unit` must be provided for
+    /// [`Inst::Custom`] exactly as for [`PipelineModel::retire`].
+    pub fn of(inst: &Inst, custom_unit: Option<ExecUnit>) -> Self {
+        let mut uses = [0u8; 3];
+        let mut nuses = 0u8;
+        for src in inst.uses() {
+            if src != Reg::Zero {
+                uses[nuses as usize] = src.number();
+                nuses += 1;
+            }
+        }
+        let def = match inst.def() {
+            Some(rd) => rd.number(),
+            None => 0,
+        };
+        PreDecoded {
+            class: classify(inst, custom_unit),
+            uses,
+            nuses,
+            def,
+        }
+    }
 }
 
 /// The in-order issue model. Feed it each retired instruction via
@@ -180,15 +252,23 @@ impl PipelineModel {
     /// (ignored for non-control instructions). `custom_unit` must be
     /// provided for [`Inst::Custom`] and gives its functional unit.
     pub fn retire(&mut self, inst: &Inst, taken: bool, custom_unit: Option<ExecUnit>) {
-        let class = classify(inst, custom_unit);
+        self.retire_pre(&PreDecoded::of(inst, custom_unit), taken);
+    }
+
+    /// Accounts for one retired, pre-decoded instruction.
+    ///
+    /// Identical semantics to [`PipelineModel::retire`] but without the
+    /// per-call decode/allocation work — the hot path of
+    /// [`crate::Machine::run`].
+    #[inline]
+    pub fn retire_pre(&mut self, pre: &PreDecoded, taken: bool) {
+        let class = pre.class;
         let cfg = self.config;
 
         // Issue once all sources are forwardable.
         let mut issue = self.next_issue;
-        for src in inst.uses() {
-            if src != Reg::Zero {
-                issue = issue.max(self.ready[src.number() as usize]);
-            }
+        for &src in &pre.uses[..pre.nuses as usize] {
+            issue = issue.max(self.ready[src as usize]);
         }
         self.stats.stall_cycles += issue - self.next_issue;
 
@@ -200,11 +280,10 @@ impl PipelineModel {
             InstClass::Load => cfg.load_latency,
             InstClass::Store | InstClass::System => cfg.alu_latency,
         };
-        if let Some(rd) = inst.def() {
-            if rd != Reg::Zero {
-                self.ready[rd.number() as usize] = issue + latency;
-            }
-        }
+        // `def == 0` covers both "no destination" and "writes x0": slot
+        // 0 is written unconditionally (branch-free) but never read,
+        // because pre-decoded source lists exclude x0.
+        self.ready[pre.def as usize] = issue + latency;
 
         // Next issue slot.
         let mut next = issue + 1;

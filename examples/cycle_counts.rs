@@ -1,28 +1,65 @@
 //! Mini Table 4: measure the cycle cost of each field operation in all
 //! four configurations by executing the generated kernels on the
-//! Rocket pipeline model.
+//! Rocket pipeline model (one measurement thread per configuration),
+//! then break each cycle count down into retired instructions, stall
+//! cycles and flush cycles — all per-run deltas from the corrected
+//! [`RunStats`](mpise::sim::machine::RunStats) semantics.
 //!
 //! ```text
 //! cargo run --release --example cycle_counts
 //! ```
 
-use mpise::fp::kernels::{Config, OpKind};
-use mpise::fp::measure::measure_config;
+use mpise::fp::kernels::OpKind;
+use mpise::fp::measure::measure_matrix_parallel;
 
 fn main() {
     println!(
         "{:28} {:>14} {:>14} {:>14} {:>14}",
         "Operation (cycles)", "full ISA", "full ISE", "reduced ISA", "reduced ISE"
     );
-    let all: Vec<_> = Config::ALL.iter().map(|&c| measure_config(c, 2)).collect();
+    let all = measure_matrix_parallel(2);
     for op in OpKind::ALL {
         print!("{:28}", op.label());
-        for column in &all {
+        for (_, column) in &all {
             let m = column.iter().find(|m| m.op == op).expect("measured");
             print!(" {:>14}", m.cycles);
         }
         println!();
     }
+    println!();
+    println!(
+        "{:28} {:>14} {:>14} {:>14} {:>14}",
+        "Fp-mul breakdown", "full ISA", "full ISE", "reduced ISA", "reduced ISE"
+    );
+    for (label, pick) in [
+        ("  instructions retired", 0usize),
+        ("  stall cycles", 1),
+        ("  flush cycles", 2),
+    ] {
+        print!("{label:28}");
+        for (_, column) in &all {
+            let m = column
+                .iter()
+                .find(|m| m.op == OpKind::FpMul)
+                .expect("measured");
+            let v = match pick {
+                0 => m.instret,
+                1 => m.timing.stall_cycles,
+                _ => m.timing.flush_cycles,
+            };
+            print!(" {v:>14}");
+        }
+        println!();
+    }
+    print!("{:28}", "  cycles per instruction");
+    for (_, column) in &all {
+        let m = column
+            .iter()
+            .find(|m| m.op == OpKind::FpMul)
+            .expect("measured");
+        print!(" {:>14.3}", m.cycles as f64 / m.instret as f64);
+    }
+    println!();
     println!();
     println!("every kernel was validated against the host arithmetic on random");
     println!("inputs and checked to be constant-time before being measured.");

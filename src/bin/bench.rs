@@ -1,0 +1,8 @@
+//! Workspace-root alias so `cargo run --release --bin bench` works
+//! without `-p mpise-bench`; see [`mpise_bench::pipeline`] for what is
+//! measured and DESIGN.md §9 for the JSON schema.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mpise_bench::pipeline::run_cli(&args));
+}
