@@ -1,0 +1,47 @@
+//! Criterion benchmark of lane-parallel batched validation against the
+//! scalar path: `validate_many` over W lanes vs W sequential scalar
+//! `validate` calls. The batched path shares the public ladder
+//! scalars across lanes, so per-validation overhead (scalar scans,
+//! cofactor products, control flow) amortises with the width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpise_csidh::{validate, validate_many, PublicKey};
+use mpise_fp::{FpBatch, FpFull};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_validation<F: FpBatch>(c: &mut Criterion, name: &str, f: &F) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for width in [1usize, 4, 8] {
+        let keys = vec![PublicKey::BASE; width];
+        let seeds: Vec<u64> = (0..width as u64).collect();
+        g.bench_function(
+            BenchmarkId::new(format!("validate-batched-{name}"), width),
+            |b| b.iter(|| validate_many(f, black_box(&keys), black_box(&seeds))),
+        );
+        g.bench_function(
+            BenchmarkId::new(format!("validate-scalar-{name}"), width),
+            |b| {
+                b.iter(|| {
+                    keys.iter()
+                        .zip(&seeds)
+                        .map(|(key, &seed)| {
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            validate(f, &mut rng, black_box(key))
+                        })
+                        .collect::<Vec<bool>>()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_validation(c, "full-radix", &FpFull::new());
+}
+
+criterion_group!(engine, benches);
+criterion_main!(engine);

@@ -114,7 +114,7 @@ impl CsidhKeypair {
 }
 
 /// Samples a uniform field element (rejection from 512-bit strings).
-fn random_fp<F: Fp, R: Rng>(f: &F, rng: &mut R) -> F::Elem {
+pub(crate) fn random_fp<F: Fp, R: Rng>(f: &F, rng: &mut R) -> F::Elem {
     let p = &Csidh512::get().p;
     loop {
         let cand = U512::from_limbs(std::array::from_fn(|_| rng.gen())).and(&U512::MAX.shr(1));

@@ -39,6 +39,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod action;
+pub mod batch;
 pub mod ct_action;
 pub mod elligator;
 pub mod isogeny;
@@ -46,4 +47,5 @@ pub mod mont;
 pub mod scalar;
 
 pub use action::{group_action, validate, CsidhKeypair, PrivateKey, PublicKey};
+pub use batch::{validate_many, xmul_many};
 pub use ct_action::{group_action_ct, CtPrivateKey, CtStats};

@@ -1,0 +1,9 @@
+//! Load generator for the key-exchange engine: runs the deterministic
+//! client mix against a single-worker baseline and a multi-worker
+//! engine, writes `LOAD_<date>.json`, and exits non-zero when the
+//! throughput/determinism gate fails. See [`mpise_engine::loadgen`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mpise_engine::loadgen::run_cli(&args));
+}

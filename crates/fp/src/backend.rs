@@ -17,8 +17,8 @@
 
 use crate::params::{Csidh512, FULL_LIMBS, RED_LIMBS};
 use mpise_mpi::{fast, Reduced, U512};
-use std::cell::Cell;
 use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A prime-field backend for the CSIDH-512 field.
 ///
@@ -282,6 +282,12 @@ impl OpCounts {
 /// terms of `mul`/`sqr`, so their inner operations are counted too —
 /// exactly what the group-action cycle estimate needs.
 ///
+/// Counters are relaxed [`AtomicU64`]s, so one wrapper can be shared
+/// (by reference or `Arc`) across the engine's worker threads; the
+/// counts are exact because every increment is atomic, and relaxed
+/// ordering suffices because nothing synchronises *through* the
+/// counters — they are read after the workers are joined.
+///
 /// # Examples
 ///
 /// ```
@@ -294,13 +300,27 @@ impl OpCounts {
 /// assert_eq!(f.counts().mul, 1);
 /// assert_eq!(f.counts().add, 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct CountingFp<F> {
     inner: F,
-    add: Cell<u64>,
-    sub: Cell<u64>,
-    mul: Cell<u64>,
-    sqr: Cell<u64>,
+    add: AtomicU64,
+    sub: AtomicU64,
+    mul: AtomicU64,
+    sqr: AtomicU64,
+}
+
+impl<F: Clone> Clone for CountingFp<F> {
+    /// Clones the backend and a snapshot of the current counts.
+    fn clone(&self) -> Self {
+        let c = self.counts();
+        CountingFp {
+            inner: self.inner.clone(),
+            add: AtomicU64::new(c.add),
+            sub: AtomicU64::new(c.sub),
+            mul: AtomicU64::new(c.mul),
+            sqr: AtomicU64::new(c.sqr),
+        }
+    }
 }
 
 impl<F> CountingFp<F> {
@@ -308,34 +328,50 @@ impl<F> CountingFp<F> {
     pub fn new(inner: F) -> Self {
         CountingFp {
             inner,
-            add: Cell::new(0),
-            sub: Cell::new(0),
-            mul: Cell::new(0),
-            sqr: Cell::new(0),
+            add: AtomicU64::new(0),
+            sub: AtomicU64::new(0),
+            mul: AtomicU64::new(0),
+            sqr: AtomicU64::new(0),
         }
     }
 
     /// The counts so far.
     pub fn counts(&self) -> OpCounts {
         OpCounts {
-            add: self.add.get(),
-            sub: self.sub.get(),
-            mul: self.mul.get(),
-            sqr: self.sqr.get(),
+            add: self.add.load(Ordering::Relaxed),
+            sub: self.sub.load(Ordering::Relaxed),
+            mul: self.mul.load(Ordering::Relaxed),
+            sqr: self.sqr.load(Ordering::Relaxed),
         }
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.add.set(0);
-        self.sub.set(0);
-        self.mul.set(0);
-        self.sqr.set(0);
+        self.add.store(0, Ordering::Relaxed);
+        self.sub.store(0, Ordering::Relaxed);
+        self.mul.store(0, Ordering::Relaxed);
+        self.sqr.store(0, Ordering::Relaxed);
     }
 
     /// The wrapped backend.
     pub fn inner(&self) -> &F {
         &self.inner
+    }
+
+    pub(crate) fn counter_add(&self) -> &AtomicU64 {
+        &self.add
+    }
+
+    pub(crate) fn counter_sub(&self) -> &AtomicU64 {
+        &self.sub
+    }
+
+    pub(crate) fn counter_mul(&self) -> &AtomicU64 {
+        &self.mul
+    }
+
+    pub(crate) fn counter_sqr(&self) -> &AtomicU64 {
+        &self.sqr
     }
 }
 
@@ -359,22 +395,22 @@ impl<F: Fp> Fp for CountingFp<F> {
     }
 
     fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
-        self.add.set(self.add.get() + 1);
+        self.add.fetch_add(1, Ordering::Relaxed);
         self.inner.add(a, b)
     }
 
     fn sub(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
-        self.sub.set(self.sub.get() + 1);
+        self.sub.fetch_add(1, Ordering::Relaxed);
         self.inner.sub(a, b)
     }
 
     fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
-        self.mul.set(self.mul.get() + 1);
+        self.mul.fetch_add(1, Ordering::Relaxed);
         self.inner.mul(a, b)
     }
 
     fn sqr(&self, a: &Self::Elem) -> Self::Elem {
-        self.sqr.set(self.sqr.get() + 1);
+        self.sqr.fetch_add(1, Ordering::Relaxed);
         self.inner.sqr(a)
     }
 
@@ -522,6 +558,44 @@ mod tests {
             f.to_uint(&f.pow(&a, &U512::from_u64(3))),
             U512::from_u64(729)
         );
+    }
+
+    #[test]
+    fn counting_is_exact_across_threads() {
+        // One shared wrapper, two worker threads (the engine's worker
+        // pool shares a CountingFp for aggregate op stats): atomic
+        // counters must not lose increments.
+        let f = CountingFp::new(FpFull::new());
+        let a = f.from_uint(&U512::from_u64(3));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        let _ = f.mul(&a, &a);
+                        let _ = f.add(&a, &a);
+                        let _ = f.sub(&a, &a);
+                        let _ = f.sqr(&a);
+                    }
+                });
+            }
+        });
+        let c = f.counts();
+        assert_eq!(
+            (c.mul, c.add, c.sub, c.sqr),
+            (1000, 1000, 1000, 1000),
+            "relaxed atomic counters must still count exactly"
+        );
+    }
+
+    #[test]
+    fn counting_clone_snapshots_counts() {
+        let f = CountingFp::new(FpFull::new());
+        let a = f.from_uint(&U512::from_u64(3));
+        let _ = f.mul(&a, &a);
+        let g = f.clone();
+        let _ = f.mul(&a, &a);
+        assert_eq!(g.counts().mul, 1, "clone is a snapshot");
+        assert_eq!(f.counts().mul, 2);
     }
 
     #[test]

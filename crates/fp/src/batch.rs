@@ -1,0 +1,309 @@
+//! Lane-parallel batching of independent field operations.
+//!
+//! The paper accelerates *one* field operation at a time; a service
+//! that handles many independent key-exchange requests can instead
+//! amortise per-call overhead across 8–32 independent **lanes** (the
+//! structure-of-arrays batching of Zhang et al.'s multi-word modular
+//! arithmetic code generators, applied to a CPU worker pool). The
+//! [`FpBatch`] trait extends [`Fp`] with element-wise batch kernels:
+//!
+//! * the **default methods** fall back to the scalar [`Fp`] ops, so
+//!   every backend is usable from the batch layer unchanged;
+//! * [`FpFull`] and [`FpRed`] provide hand-batched implementations
+//!   that resolve the process-wide [`Csidh512`] parameter set **once
+//!   per batch** instead of once per element, and feed the Montgomery
+//!   contexts directly — the per-call overhead (parameter lookup,
+//!   trait dispatch) is paid once per `n` lanes.
+//!
+//! Batches are plain slices: callers keep one buffer per operand
+//! (structure of arrays), lanes are independent, and every method
+//! requires all slices to share one length.
+
+use crate::backend::{CountingFp, Fp, FpFull, FpRed};
+use crate::params::{Csidh512, RED_LIMBS};
+use mpise_mpi::{fast, Reduced, U512};
+use std::sync::atomic::Ordering;
+
+/// Element-wise batched field operations over independent lanes.
+///
+/// All methods require `a.len() == b.len() == out.len()` (the lane
+/// count); they panic on mismatched lengths. Lane `i` of `out` is the
+/// scalar result for lane `i` of the inputs — [`FpBatch`] never mixes
+/// lanes, so results are bit-identical to the scalar path (the
+/// property tests in `crates/fp/tests/batch_props.rs` enforce this
+/// for every lane count 1..=32).
+pub trait FpBatch: Fp {
+    /// Batched field addition: `out[i] = a[i] + b[i]`.
+    fn add_n(&self, a: &[Self::Elem], b: &[Self::Elem], out: &mut [Self::Elem]) {
+        check_lanes(a.len(), b.len(), out.len());
+        for i in 0..out.len() {
+            out[i] = self.add(&a[i], &b[i]);
+        }
+    }
+
+    /// Batched field subtraction: `out[i] = a[i] - b[i]`.
+    fn sub_n(&self, a: &[Self::Elem], b: &[Self::Elem], out: &mut [Self::Elem]) {
+        check_lanes(a.len(), b.len(), out.len());
+        for i in 0..out.len() {
+            out[i] = self.sub(&a[i], &b[i]);
+        }
+    }
+
+    /// Batched field multiplication: `out[i] = a[i] · b[i]`.
+    fn mul_n(&self, a: &[Self::Elem], b: &[Self::Elem], out: &mut [Self::Elem]) {
+        check_lanes(a.len(), b.len(), out.len());
+        for i in 0..out.len() {
+            out[i] = self.mul(&a[i], &b[i]);
+        }
+    }
+
+    /// Batched field squaring: `out[i] = a[i]²`.
+    fn sqr_n(&self, a: &[Self::Elem], out: &mut [Self::Elem]) {
+        check_lanes(a.len(), a.len(), out.len());
+        for i in 0..out.len() {
+            out[i] = self.sqr(&a[i]);
+        }
+    }
+}
+
+#[inline]
+fn check_lanes(a: usize, b: usize, out: usize) {
+    assert!(
+        a == b && b == out,
+        "mismatched batch lane counts: {a} vs {b} vs {out}"
+    );
+}
+
+impl FpBatch for FpFull {
+    fn add_n(&self, a: &[U512], b: &[U512], out: &mut [U512]) {
+        check_lanes(a.len(), b.len(), out.len());
+        let p = &Csidh512::get().p;
+        for i in 0..out.len() {
+            out[i] = fast::mod_add(&a[i], &b[i], p);
+        }
+    }
+
+    fn sub_n(&self, a: &[U512], b: &[U512], out: &mut [U512]) {
+        check_lanes(a.len(), b.len(), out.len());
+        let p = &Csidh512::get().p;
+        for i in 0..out.len() {
+            out[i] = fast::mod_sub(&a[i], &b[i], p);
+        }
+    }
+
+    fn mul_n(&self, a: &[U512], b: &[U512], out: &mut [U512]) {
+        check_lanes(a.len(), b.len(), out.len());
+        let mont = &Csidh512::get().mont;
+        for i in 0..out.len() {
+            out[i] = mont.mul(&a[i], &b[i]);
+        }
+    }
+
+    fn sqr_n(&self, a: &[U512], out: &mut [U512]) {
+        check_lanes(a.len(), a.len(), out.len());
+        let mont = &Csidh512::get().mont;
+        for i in 0..out.len() {
+            out[i] = mont.sqr(&a[i]);
+        }
+    }
+}
+
+impl FpBatch for FpRed {
+    fn add_n(
+        &self,
+        a: &[Reduced<RED_LIMBS>],
+        b: &[Reduced<RED_LIMBS>],
+        out: &mut [Reduced<RED_LIMBS>],
+    ) {
+        check_lanes(a.len(), b.len(), out.len());
+        let mont57 = &Csidh512::get().mont57;
+        for i in 0..out.len() {
+            out[i] = mont57.add(&a[i], &b[i]);
+        }
+    }
+
+    fn sub_n(
+        &self,
+        a: &[Reduced<RED_LIMBS>],
+        b: &[Reduced<RED_LIMBS>],
+        out: &mut [Reduced<RED_LIMBS>],
+    ) {
+        check_lanes(a.len(), b.len(), out.len());
+        let mont57 = &Csidh512::get().mont57;
+        for i in 0..out.len() {
+            out[i] = mont57.sub(&a[i], &b[i]);
+        }
+    }
+
+    fn mul_n(
+        &self,
+        a: &[Reduced<RED_LIMBS>],
+        b: &[Reduced<RED_LIMBS>],
+        out: &mut [Reduced<RED_LIMBS>],
+    ) {
+        check_lanes(a.len(), b.len(), out.len());
+        let mont57 = &Csidh512::get().mont57;
+        for i in 0..out.len() {
+            out[i] = mont57.mul(&a[i], &b[i]);
+        }
+    }
+
+    fn sqr_n(&self, a: &[Reduced<RED_LIMBS>], out: &mut [Reduced<RED_LIMBS>]) {
+        check_lanes(a.len(), a.len(), out.len());
+        let mont57 = &Csidh512::get().mont57;
+        for i in 0..out.len() {
+            out[i] = mont57.sqr(&a[i]);
+        }
+    }
+}
+
+/// The op-counting adapter forwards batches to the inner backend's
+/// batched kernels and bumps each counter by the lane count, so the
+/// group-action cycle estimates stay exact under batching.
+impl<F: FpBatch> FpBatch for CountingFp<F> {
+    fn add_n(&self, a: &[Self::Elem], b: &[Self::Elem], out: &mut [Self::Elem]) {
+        self.counter_add()
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.inner().add_n(a, b, out);
+    }
+
+    fn sub_n(&self, a: &[Self::Elem], b: &[Self::Elem], out: &mut [Self::Elem]) {
+        self.counter_sub()
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.inner().sub_n(a, b, out);
+    }
+
+    fn mul_n(&self, a: &[Self::Elem], b: &[Self::Elem], out: &mut [Self::Elem]) {
+        self.counter_mul()
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.inner().mul_n(a, b, out);
+    }
+
+    fn sqr_n(&self, a: &[Self::Elem], out: &mut [Self::Elem]) {
+        self.counter_sqr()
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.inner().sqr_n(a, out);
+    }
+}
+
+/// A convenience wrapper exposing *only* the default scalar-fallback
+/// batch path of a backend (no hand-batched overrides). Used by the
+/// property tests to pin the fallback's behaviour, and by benchmarks
+/// to measure what batching buys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarFallback<F>(pub F);
+
+impl<F: Fp> Fp for ScalarFallback<F> {
+    type Elem = F::Elem;
+
+    fn zero(&self) -> Self::Elem {
+        self.0.zero()
+    }
+
+    fn one(&self) -> Self::Elem {
+        self.0.one()
+    }
+
+    fn from_uint(&self, v: &U512) -> Self::Elem {
+        self.0.from_uint(v)
+    }
+
+    fn to_uint(&self, a: &Self::Elem) -> U512 {
+        self.0.to_uint(a)
+    }
+
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.0.add(a, b)
+    }
+
+    fn sub(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.0.sub(a, b)
+    }
+
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.0.mul(a, b)
+    }
+
+    fn sqr(&self, a: &Self::Elem) -> Self::Elem {
+        self.0.sqr(a)
+    }
+
+    fn is_zero(&self, a: &Self::Elem) -> bool {
+        self.0.is_zero(a)
+    }
+
+    fn select(&self, mask: u64, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        self.0.select(mask, a, b)
+    }
+}
+
+// Deliberately no method overrides: every batch call goes through the
+// trait's scalar-fallback defaults.
+impl<F: Fp> FpBatch for ScalarFallback<F> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes_full(f: &FpFull, n: usize) -> Vec<U512> {
+        (0..n)
+            .map(|i| f.from_uint(&U512::from_u64(17 * i as u64 + 3)))
+            .collect()
+    }
+
+    #[test]
+    fn hand_batched_matches_scalar_full() {
+        let f = FpFull::new();
+        for n in [1usize, 2, 7, 32] {
+            let a = lanes_full(&f, n);
+            let b: Vec<U512> = a.iter().rev().copied().collect();
+            let mut out = vec![f.zero(); n];
+            f.mul_n(&a, &b, &mut out);
+            for i in 0..n {
+                assert_eq!(out[i], f.mul(&a[i], &b[i]));
+            }
+            f.add_n(&a, &b, &mut out);
+            for i in 0..n {
+                assert_eq!(out[i], f.add(&a[i], &b[i]));
+            }
+            f.sub_n(&a, &b, &mut out);
+            for i in 0..n {
+                assert_eq!(out[i], f.sub(&a[i], &b[i]));
+            }
+            f.sqr_n(&a, &mut out);
+            for i in 0..n {
+                assert_eq!(out[i], f.sqr(&a[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let f = FpRed::new();
+        let mut out: Vec<<FpRed as Fp>::Elem> = Vec::new();
+        f.mul_n(&[], &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched batch lane counts")]
+    fn mismatched_lanes_panic() {
+        let f = FpFull::new();
+        let a = lanes_full(&f, 3);
+        let b = lanes_full(&f, 2);
+        let mut out = vec![f.zero(); 3];
+        f.add_n(&a, &b, &mut out);
+    }
+
+    #[test]
+    fn counting_adapter_counts_whole_batches() {
+        let f = CountingFp::new(FpFull::new());
+        let a = lanes_full(f.inner(), 5);
+        let mut out = vec![f.zero(); 5];
+        f.mul_n(&a, &a, &mut out);
+        f.sqr_n(&a, &mut out);
+        let c = f.counts();
+        assert_eq!(c.mul, 5);
+        assert_eq!(c.sqr, 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the lane-parallel [`FpBatch`] kernels: every
+//! batched operation must agree element-wise with the scalar [`Fp`]
+//! operation, for every lane count in `1..=32`, on both radices, and
+//! through the default scalar-fallback path.
+
+use mpise_fp::params::Csidh512;
+use mpise_fp::{FpBatch, FpFull, FpRed, ScalarFallback};
+use mpise_mpi::U512;
+use proptest::prelude::*;
+
+/// Maps 512 arbitrary bits into `[0, p)`: mask to 511 bits, then one
+/// conditional subtraction (511 bits < 2p).
+fn reduce(raw: [u64; 8]) -> U512 {
+    let p = &Csidh512::get().p;
+    let cand = U512::from_limbs(raw).and(&U512::MAX.shr(1));
+    if cand >= *p {
+        cand.sbb(p, 0).0
+    } else {
+        cand
+    }
+}
+
+/// Checks all four batched operations against the scalar trait on one
+/// backend for one drawn set of lane inputs.
+fn check_ops<F: FpBatch>(f: &F, pairs: &[([u64; 8], [u64; 8])]) -> Result<(), TestCaseError> {
+    let a: Vec<F::Elem> = pairs
+        .iter()
+        .map(|(x, _)| f.from_uint(&reduce(*x)))
+        .collect();
+    let b: Vec<F::Elem> = pairs
+        .iter()
+        .map(|(_, y)| f.from_uint(&reduce(*y)))
+        .collect();
+    let lanes = pairs.len();
+    let mut out = vec![f.zero(); lanes];
+
+    f.add_n(&a, &b, &mut out);
+    for i in 0..lanes {
+        prop_assert_eq!(f.to_uint(&out[i]), f.to_uint(&f.add(&a[i], &b[i])));
+    }
+    f.sub_n(&a, &b, &mut out);
+    for i in 0..lanes {
+        prop_assert_eq!(f.to_uint(&out[i]), f.to_uint(&f.sub(&a[i], &b[i])));
+    }
+    f.mul_n(&a, &b, &mut out);
+    for i in 0..lanes {
+        prop_assert_eq!(f.to_uint(&out[i]), f.to_uint(&f.mul(&a[i], &b[i])));
+    }
+    f.sqr_n(&a, &mut out);
+    for i in 0..lanes {
+        prop_assert_eq!(f.to_uint(&out[i]), f.to_uint(&f.sqr(&a[i])));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hand-batched full-radix kernels agree with scalar FpFull for
+    /// random lane counts in `1..=32`.
+    #[test]
+    fn full_radix_batch_matches_scalar(
+        pairs in prop::collection::vec(
+            (prop::array::uniform8(any::<u64>()), prop::array::uniform8(any::<u64>())),
+            1..33,
+        )
+    ) {
+        check_ops(&FpFull::new(), &pairs)?;
+    }
+
+    /// Hand-batched reduced-radix kernels agree with scalar FpRed.
+    #[test]
+    fn reduced_radix_batch_matches_scalar(
+        pairs in prop::collection::vec(
+            (prop::array::uniform8(any::<u64>()), prop::array::uniform8(any::<u64>())),
+            1..33,
+        )
+    ) {
+        check_ops(&FpRed::new(), &pairs)?;
+    }
+
+    /// The default (scalar-fallback) `FpBatch` implementation agrees
+    /// with the scalar trait on both radices — this pins the trait's
+    /// default bodies, which any future backend inherits.
+    #[test]
+    fn default_fallback_matches_scalar(
+        pairs in prop::collection::vec(
+            (prop::array::uniform8(any::<u64>()), prop::array::uniform8(any::<u64>())),
+            1..33,
+        )
+    ) {
+        check_ops(&ScalarFallback(FpFull::new()), &pairs)?;
+        check_ops(&ScalarFallback(FpRed::new()), &pairs)?;
+    }
+}
+
+/// SplitMix64 for the deterministic exhaustive sweep below.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Every lane count in `1..=32` exactly once (the proptest above draws
+/// lane counts randomly; this sweep guarantees none is skipped).
+#[test]
+fn every_lane_count_agrees_on_all_backends() {
+    let mut state = 0x0BAD_5EED_u64;
+    for lanes in 1..=32usize {
+        let pairs: Vec<([u64; 8], [u64; 8])> = (0..lanes)
+            .map(|_| {
+                (
+                    std::array::from_fn(|_| splitmix64(&mut state)),
+                    std::array::from_fn(|_| splitmix64(&mut state)),
+                )
+            })
+            .collect();
+        check_ops(&FpFull::new(), &pairs).unwrap();
+        check_ops(&FpRed::new(), &pairs).unwrap();
+        check_ops(&ScalarFallback(FpFull::new()), &pairs).unwrap();
+        check_ops(&ScalarFallback(FpRed::new()), &pairs).unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace-root alias so `cargo run --release --bin loadgen` works
+//! without `-p mpise-engine`; see [`mpise_engine::loadgen`] for the
+//! request mix and DESIGN.md §10 for the JSON schema and gate.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mpise_engine::loadgen::run_cli(&args));
+}

@@ -15,7 +15,9 @@
 //! * [`fp`] — the CSIDH-512 field layer, kernel generators and the
 //!   cycle-measurement harness (`mpise-fp`);
 //! * [`csidh`] — the CSIDH-512 key exchange (`mpise-csidh`);
-//! * [`hw`] — the structural hardware cost model (`mpise-hw`).
+//! * [`hw`] — the structural hardware cost model (`mpise-hw`);
+//! * [`engine`] — the batched multi-worker key-exchange service and
+//!   its load generator (`mpise-engine`).
 //!
 //! ## Quick start
 //!
@@ -35,6 +37,7 @@
 
 pub use mpise_core as isa;
 pub use mpise_csidh as csidh;
+pub use mpise_engine as engine;
 pub use mpise_fp as fp;
 pub use mpise_hw as hw;
 pub use mpise_mpi as mpi;
