@@ -108,6 +108,9 @@ pub struct ActionSim {
     pub calls: u64,
     /// Host seconds the simulation took.
     pub host_secs: f64,
+    /// Simulated cycles as attributed by the telemetry span tree; must
+    /// reconcile with `cycles` within 1% (the run asserts it).
+    pub span_cycles: u64,
 }
 
 /// Host-side interpreter throughput for one configuration.
@@ -203,10 +206,15 @@ pub fn estimate_actions(
 /// simulator and validates the resulting public key against the host
 /// backend.
 ///
+/// Telemetry is enabled for the duration of the run so the action
+/// decomposes into phase spans; the span tree's attributed cycles must
+/// reconcile with the machine's cycle counter within 1%.
+///
 /// # Panics
 ///
 /// Panics when the simulated action disagrees with the host action — a
-/// simulator or kernel bug.
+/// simulator or kernel bug — or when the span attribution fails to
+/// reconcile with the cycle counter.
 pub fn simulate_action(config: Config, bound: i8) -> ActionSim {
     let host = FpFull::new();
     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
@@ -217,18 +225,34 @@ pub fn simulate_action(config: Config, bound: i8) -> ActionSim {
     let mut rng = StdRng::seed_from_u64(BENCH_SEED);
     let key2 = PrivateKey::random_with_bound(&mut rng, bound);
     assert_eq!(key, key2, "deterministic key derivation");
+    let was_enabled = mpise_obs::enabled();
+    mpise_obs::set_enabled(true);
+    let _ = mpise_obs::take_spans(); // start from a clean thread-local tree
     let t0 = Instant::now();
     let pk_sim = group_action(&sim, &mut rng, &PublicKey::BASE, &key2);
     let host_secs = t0.elapsed().as_secs_f64();
+    mpise_obs::set_enabled(was_enabled);
+    let spans = mpise_obs::take_spans();
     assert_eq!(
         pk_sim, pk_host,
         "{config}: simulated action disagrees with the host action"
     );
+    let span_cycles = spans.total_cycles();
+    let cycles = sim.cycles();
+    let drift = span_cycles.abs_diff(cycles);
+    assert!(
+        drift * 100 <= cycles,
+        "{config}: span-attributed cycles ({span_cycles}) drift more than 1% \
+         from the machine cycle counter ({cycles})"
+    );
+    eprintln!("bench: action span tree ({config}):");
+    eprint!("{}", spans.render());
     ActionSim {
         config,
-        cycles: sim.cycles(),
+        cycles,
         calls: sim.calls(),
         host_secs,
+        span_cycles,
     }
 }
 
@@ -432,11 +456,13 @@ pub fn action_json(counts: &OpCounts, estimates: &[ActionEstimate], sims: &[Acti
     for (i, s) in sims.iter().enumerate() {
         out.push_str(&format!(
             "      {{\"config\": \"{}\", \"cycles\": {}, \"kernel_calls\": {}, \
-             \"host_secs\": {:.2}, \"validated_vs_host\": true}}{}\n",
+             \"host_secs\": {:.2}, \"validated_vs_host\": true, \
+             \"span_cycles\": {}, \"span_reconciled_1pct\": true}}{}\n",
             s.config,
             s.cycles,
             s.calls,
             s.host_secs,
+            s.span_cycles,
             if i + 1 < sims.len() { "," } else { "" },
         ));
     }
@@ -449,6 +475,10 @@ pub fn report_json(report: &BenchReport) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"mpise-bench/v1\",\n");
     out.push_str(&format!("  \"date\": \"{}\",\n", utc_date_string()));
+    out.push_str(&format!(
+        "  \"provenance\": {},\n",
+        mpise_obs::Provenance::collect().json()
+    ));
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if report.options.smoke {
@@ -497,24 +527,11 @@ pub fn report_json(report: &BenchReport) -> String {
     out
 }
 
-/// `YYYY-MM-DD` in UTC, without external date crates (civil-from-days,
-/// Hinnant's algorithm).
+/// `YYYY-MM-DD` in UTC (kept as a re-export shim — the civil-from-days
+/// implementation moved to [`mpise_obs::time`] so every artifact writer
+/// stamps dates the same way).
 pub fn utc_date_string() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock after 1970")
-        .as_secs();
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
+    mpise_obs::time::utc_date_string()
 }
 
 /// Command-line entry point shared by the `bench` binaries; returns the

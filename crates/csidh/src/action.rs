@@ -136,53 +136,66 @@ pub fn group_action<F: Fp, R: Rng>(
     start: &PublicKey,
     key: &PrivateKey,
 ) -> PublicKey {
+    let _span = mpise_obs::span("csidh.action");
     let mut e = key.exponents;
     let mut curve = Curve::from_affine(f, f.from_uint(&start.a));
 
     while e.iter().any(|&x| x != 0) {
         // Sample a point and learn its side (curve vs. twist).
-        let x = random_fp(f, rng);
-        let r = rhs(f, &curve, &x);
-        let s = f.legendre(&r);
-        if s == 0 {
-            continue;
-        }
-        let sign: i8 = if s == 1 { 1 } else { -1 };
-        let todo: Vec<usize> = (0..NUM_PRIMES)
-            .filter(|&i| (e[i] > 0 && sign == 1) || (e[i] < 0 && sign == -1))
-            .collect();
-        if todo.is_empty() {
-            continue;
-        }
+        let (x, sign, todo) = {
+            let _s = mpise_obs::span("csidh.sample");
+            let x = random_fp(f, rng);
+            let r = rhs(f, &curve, &x);
+            let s = f.legendre(&r);
+            if s == 0 {
+                continue;
+            }
+            let sign: i8 = if s == 1 { 1 } else { -1 };
+            let todo: Vec<usize> = (0..NUM_PRIMES)
+                .filter(|&i| (e[i] > 0 && sign == 1) || (e[i] < 0 && sign == -1))
+                .collect();
+            if todo.is_empty() {
+                continue;
+            }
+            (x, sign, todo)
+        };
 
         // Clear the cofactor: P has order dividing ∏_{i∈todo} ℓᵢ.
-        let clear = scalar::four_times_product((0..NUM_PRIMES).filter(|i| !todo.contains(i)));
-        let mut point = xmul(f, &curve, &Point { x, z: f.one() }, &clear);
-        if is_infinity(f, &point) {
-            continue;
-        }
+        let mut point = {
+            let _s = mpise_obs::span("csidh.cofactor");
+            let clear = scalar::four_times_product((0..NUM_PRIMES).filter(|i| !todo.contains(i)));
+            let point = xmul(f, &curve, &Point { x, z: f.one() }, &clear);
+            if is_infinity(f, &point) {
+                continue;
+            }
+            point
+        };
 
         // One ℓᵢ-isogeny per selected prime, largest first (walking the
         // big primes early keeps the remaining cofactor ladders short).
-        let mut remaining = todo.clone();
-        for idx in (0..todo.len()).rev() {
-            let i = todo[idx];
-            let cof = scalar::product(remaining.iter().copied().filter(|&j| j != i));
-            let kernel = xmul(f, &curve, &point, &cof);
-            if !is_infinity(f, &kernel) {
-                let (new_curve, new_point) = isogeny(f, &curve, &point, &kernel, PRIMES[i]);
-                curve = new_curve;
-                point = new_point;
-                e[i] -= sign;
-            }
-            remaining.retain(|&j| j != i);
-            if is_infinity(f, &point) {
-                break;
+        {
+            let _s = mpise_obs::span("csidh.isogeny");
+            let mut remaining = todo.clone();
+            for idx in (0..todo.len()).rev() {
+                let i = todo[idx];
+                let cof = scalar::product(remaining.iter().copied().filter(|&j| j != i));
+                let kernel = xmul(f, &curve, &point, &cof);
+                if !is_infinity(f, &kernel) {
+                    let (new_curve, new_point) = isogeny(f, &curve, &point, &kernel, PRIMES[i]);
+                    curve = new_curve;
+                    point = new_point;
+                    e[i] -= sign;
+                }
+                remaining.retain(|&j| j != i);
+                if is_infinity(f, &point) {
+                    break;
+                }
             }
         }
 
         // Normalize to affine A (one inversion per round, as in the
         // reference code) so the next round's Legendre test is direct.
+        let _s = mpise_obs::span("csidh.normalize");
         let a_affine = normalize(f, &curve);
         curve = Curve::from_affine(f, a_affine);
     }
@@ -200,6 +213,7 @@ pub fn group_action<F: Fp, R: Rng>(
 /// of order `d > 4√p` with `d | p + 1` exists, the group order is
 /// exactly `p + 1` (Hasse), hence the curve is supersingular.
 pub fn validate<F: Fp, R: Rng>(f: &F, rng: &mut R, key: &PublicKey) -> bool {
+    let _span = mpise_obs::span("csidh.validate");
     let c = Csidh512::get();
     if key.a >= c.p {
         return false;
@@ -376,6 +390,27 @@ mod tests {
         assert_eq!(PublicKey::from_bytes(&b).unwrap(), pk);
         let bad = [0xffu8; 64];
         assert!(PublicKey::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn action_emits_phase_spans() {
+        mpise_obs::set_enabled(true);
+        let _ = mpise_obs::take_spans(); // drop anything stale on this thread
+        let f = FpFull::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let key = sparse_key(&[(0, 1), (5, -1)]);
+        let _ = group_action(&f, &mut rng, &PublicKey::BASE, &key);
+        mpise_obs::set_enabled(false);
+        let tree = mpise_obs::take_spans();
+        let action = tree.child("csidh.action").expect("action span recorded");
+        for phase in [
+            "csidh.sample",
+            "csidh.cofactor",
+            "csidh.isogeny",
+            "csidh.normalize",
+        ] {
+            assert!(action.child(phase).is_some(), "missing phase span {phase}");
+        }
     }
 
     #[test]

@@ -205,6 +205,7 @@ pub fn xmul_many<F: FpBatch>(
 ///
 /// Panics when `keys.len() != seeds.len()`.
 pub fn validate_many<F: FpBatch>(f: &F, keys: &[PublicKey], seeds: &[u64]) -> Vec<bool> {
+    let _span = mpise_obs::span("csidh.batch.validate");
     assert_eq!(keys.len(), seeds.len(), "one seed per key");
     let c = Csidh512::get();
     let two = U512::from_u64(2);

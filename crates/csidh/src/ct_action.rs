@@ -110,6 +110,7 @@ pub fn group_action_ct<F: Fp, R: Rng>(
     start: &PublicKey,
     key: &CtPrivateKey,
 ) -> (PublicKey, CtStats) {
+    let _span = mpise_obs::span("csidh.ct_action");
     let mut real: [u8; NUM_PRIMES] = key.exponents;
     let mut dummy: [u8; NUM_PRIMES] = std::array::from_fn(|i| key.budget - key.exponents[i]);
     let mut stats = CtStats::default();
@@ -117,19 +118,28 @@ pub fn group_action_ct<F: Fp, R: Rng>(
 
     while (0..NUM_PRIMES).any(|i| real[i] + dummy[i] > 0) {
         // Sample an on-curve point (one-sided keys walk one direction).
-        let x = random_fp(f, rng);
-        if f.legendre(&rhs(f, &curve, &x)) != 1 {
-            continue;
-        }
-        let todo: Vec<usize> = (0..NUM_PRIMES)
-            .filter(|&i| real[i] + dummy[i] > 0)
-            .collect();
-        let clear = scalar::four_times_product((0..NUM_PRIMES).filter(|i| !todo.contains(i)));
-        let mut point = xmul(f, &curve, &Point { x, z: f.one() }, &clear);
-        if is_infinity(f, &point) {
-            continue;
-        }
+        let (x, todo) = {
+            let _s = mpise_obs::span("csidh.sample");
+            let x = random_fp(f, rng);
+            if f.legendre(&rhs(f, &curve, &x)) != 1 {
+                continue;
+            }
+            let todo: Vec<usize> = (0..NUM_PRIMES)
+                .filter(|&i| real[i] + dummy[i] > 0)
+                .collect();
+            (x, todo)
+        };
+        let mut point = {
+            let _s = mpise_obs::span("csidh.cofactor");
+            let clear = scalar::four_times_product((0..NUM_PRIMES).filter(|i| !todo.contains(i)));
+            let point = xmul(f, &curve, &Point { x, z: f.one() }, &clear);
+            if is_infinity(f, &point) {
+                continue;
+            }
+            point
+        };
 
+        let _iso_span = mpise_obs::span("csidh.isogeny");
         let mut remaining = todo.clone();
         for idx in (0..todo.len()).rev() {
             let i = todo[idx];
@@ -164,6 +174,8 @@ pub fn group_action_ct<F: Fp, R: Rng>(
             }
         }
 
+        drop(_iso_span);
+        let _s = mpise_obs::span("csidh.normalize");
         let a_affine = normalize(f, &curve);
         curve = Curve::from_affine(f, a_affine);
     }

@@ -239,15 +239,15 @@ impl Engine {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.batch_lanes > 0, "need at least one batch lane");
         let queue = Arc::new(Bounded::new(config.queue_capacity));
-        let stats = Arc::new(StatsInner::new());
+        let stats = Arc::new(StatsInner::new(config.workers));
         let backend = Arc::new(backend);
         let workers = (0..config.workers)
-            .map(|_| {
+            .map(|worker| {
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
                 let backend = Arc::clone(&backend);
                 let lanes = config.batch_lanes;
-                std::thread::spawn(move || worker_loop(backend(), &queue, &stats, lanes))
+                std::thread::spawn(move || worker_loop(backend(), &queue, &stats, lanes, worker))
             })
             .collect();
         Engine {
@@ -337,6 +337,109 @@ impl Engine {
         self.config
     }
 
+    /// Publishes the current counters into an `mpise-obs` metrics
+    /// registry (typically [`mpise_obs::global`]): request counters by
+    /// op, queue/throughput gauges, per-worker completion gauges, and
+    /// the full latency reservoir as a histogram. Idempotent — each
+    /// call overwrites the previous export, so periodic publication
+    /// always reflects the snapshot, not a double count.
+    pub fn publish_metrics(&self, reg: &mpise_obs::Registry) {
+        let s = self.stats();
+        let latencies = self.stats.latencies();
+        let ops = "Requests answered, by operation";
+        reg.counter(
+            "mpise_engine_requests_submitted_total",
+            "Requests accepted into the queue",
+            &[],
+        )
+        .set(s.submitted);
+        reg.counter(
+            "mpise_engine_requests_rejected_total",
+            "Submissions refused",
+            &[],
+        )
+        .set(s.rejected);
+        reg.counter(
+            "mpise_engine_requests_completed_total",
+            ops,
+            &[("op", "keygen")],
+        )
+        .set(s.keygen);
+        reg.counter(
+            "mpise_engine_requests_completed_total",
+            ops,
+            &[("op", "derive")],
+        )
+        .set(s.derive);
+        reg.counter(
+            "mpise_engine_requests_completed_total",
+            ops,
+            &[("op", "validate")],
+        )
+        .set(s.validate);
+        reg.counter(
+            "mpise_engine_requests_expired_total",
+            "Requests that missed their deadline",
+            &[],
+        )
+        .set(s.expired);
+        reg.counter(
+            "mpise_engine_requests_cancelled_total",
+            "Requests cancelled before execution",
+            &[],
+        )
+        .set(s.cancelled);
+        reg.counter(
+            "mpise_engine_validate_batches_total",
+            "Lane-parallel validation batches executed",
+            &[],
+        )
+        .set(s.batches);
+        reg.counter(
+            "mpise_engine_batched_requests_total",
+            "Validation requests served through batches",
+            &[],
+        )
+        .set(s.batched_requests);
+        reg.gauge(
+            "mpise_engine_queue_depth",
+            "Requests queued but not yet claimed",
+            &[],
+        )
+        .set(s.queue_depth as f64);
+        reg.gauge(
+            "mpise_engine_throughput_rps",
+            "Completed requests per second since start",
+            &[],
+        )
+        .set(s.throughput_rps);
+        if let Some(w) = s.mean_batch_width() {
+            reg.gauge(
+                "mpise_engine_mean_batch_width",
+                "Mean lanes per validation batch",
+                &[],
+            )
+            .set(w);
+        }
+        let worker_help = "Jobs answered, by worker";
+        for (i, &n) in s.worker_completed.iter().enumerate() {
+            let id = i.to_string();
+            reg.gauge(
+                "mpise_engine_worker_completed",
+                worker_help,
+                &[("worker", &id)],
+            )
+            .set(n as f64);
+        }
+        reg.histogram(
+            "mpise_engine_latency_us",
+            "Submit-to-response latency (microseconds)",
+            &[],
+            &mpise_obs::metrics::LATENCY_BUCKETS_US,
+        )
+        .replace_with_samples(&latencies);
+    }
+
     /// Graceful drain: refuses new submissions, lets the workers
     /// finish everything already queued, and joins them. Every
     /// accepted request receives its response before this returns.
@@ -358,6 +461,14 @@ impl Engine {
     /// Whether [`Engine::shutdown`] has begun.
     pub fn is_shut_down(&self) -> bool {
         self.queue.is_closed()
+    }
+
+    /// Drains the telemetry span trees merged in by exited workers.
+    /// Spans are thread-local, so workers contribute their trees when
+    /// they exit — call this after [`Engine::shutdown`] for the
+    /// complete forest (empty while telemetry is disabled).
+    pub fn take_worker_spans(&self) -> mpise_obs::SpanTree {
+        std::mem::take(&mut *self.stats.spans.lock().expect("span lock"))
     }
 }
 
@@ -396,9 +507,15 @@ fn refusal(job: &Job) -> Option<EngineError> {
     None
 }
 
-fn worker_loop<F: FpBatch>(f: F, queue: &Bounded<Job>, stats: &StatsInner, lanes: usize) {
+fn worker_loop<F: FpBatch>(
+    f: F,
+    queue: &Bounded<Job>,
+    stats: &StatsInner,
+    lanes: usize,
+    worker: usize,
+) {
     while let Some(job) = queue.pop() {
-        if matches!(job.request, Request::ValidatePublicKey { .. }) {
+        let answered = if matches!(job.request, Request::ValidatePublicKey { .. }) {
             // Take a run of validation requests from the queue front:
             // independent requests share lockstep ladder kernels.
             let mut batch = vec![job];
@@ -407,10 +524,20 @@ fn worker_loop<F: FpBatch>(f: F, queue: &Bounded<Job>, stats: &StatsInner, lanes
                     matches!(j.request, Request::ValidatePublicKey { .. })
                 }));
             }
+            let n = batch.len() as u64;
             run_validate_batch(&f, batch, stats);
+            n
         } else {
             run_single(&f, job, stats);
-        }
+            1
+        };
+        stats.worker_completed[worker].fetch_add(answered, Ordering::Relaxed);
+    }
+    // Spans are thread-local; hand this worker's finished tree to the
+    // engine before the thread exits.
+    let spans = mpise_obs::take_spans();
+    if !spans.is_empty() {
+        stats.spans.lock().expect("span lock").merge(spans);
     }
 }
 
@@ -592,8 +719,63 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.submitted, 5);
         assert_eq!(stats.completed, 5);
+        assert!(stats.p50_us.is_some());
         assert!(stats.p50_us <= stats.p99_us);
         assert!(stats.p99_us <= stats.max_us);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn worker_counters_cover_all_answered_jobs() {
+        let engine = Engine::start(
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            FpFull::new,
+        );
+        for i in 0..9 {
+            let _ = engine
+                .submit(i, Request::ValidatePublicKey { key: bogus_key() }, None)
+                .unwrap()
+                .wait();
+        }
+        engine.shutdown();
+        let stats = engine.stats();
+        assert_eq!(stats.worker_completed.len(), 2);
+        assert_eq!(
+            stats.worker_completed.iter().sum::<u64>(),
+            stats.completed + stats.expired + stats.cancelled
+        );
+    }
+
+    #[test]
+    fn publish_metrics_exports_the_snapshot() {
+        let engine = Engine::start(
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            FpFull::new,
+        );
+        for i in 0..4 {
+            let _ = engine
+                .submit(i, Request::ValidatePublicKey { key: bogus_key() }, None)
+                .unwrap()
+                .wait();
+        }
+        let reg = mpise_obs::Registry::new();
+        engine.publish_metrics(&reg);
+        // Publishing twice must not double-count (counters are set,
+        // the histogram is replaced).
+        engine.publish_metrics(&reg);
+        let text = reg.render_prometheus();
+        assert!(text.contains("mpise_engine_requests_submitted_total 4"));
+        assert!(text.contains("mpise_engine_requests_completed_total{op=\"validate\"} 4"));
+        assert!(text.contains("mpise_engine_worker_completed{worker=\"0\"}"));
+        assert!(text.contains("mpise_engine_worker_completed{worker=\"1\"}"));
+        assert!(text.contains("mpise_engine_latency_us_count 4"));
+        mpise_obs::prom::validate(&text).expect("exported text must parse");
         engine.shutdown();
     }
 }

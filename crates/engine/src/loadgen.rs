@@ -29,6 +29,7 @@ use mpise_csidh::{group_action, PrivateKey, PublicKey};
 use mpise_fp::params::NUM_PRIMES;
 use mpise_fp::FpFull;
 use mpise_mpi::U512;
+use mpise_obs::time::utc_date_string;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -58,6 +59,12 @@ pub struct LoadgenOptions {
     pub smoke: bool,
     /// Output path; `None` = `LOAD_<utc-date>.json`.
     pub out: Option<String>,
+    /// Where to dump the Prometheus text exposition; setting this (or
+    /// `obs_out`, or `MPISE_OBS=1`) enables telemetry for the run.
+    pub metrics_out: Option<String>,
+    /// Where to dump the `mpise-obs/v1` JSON snapshot (metrics plus the
+    /// worker span forest).
+    pub obs_out: Option<String>,
 }
 
 impl Default for LoadgenOptions {
@@ -71,6 +78,8 @@ impl Default for LoadgenOptions {
             seed: LOADGEN_SEED,
             smoke: false,
             out: None,
+            metrics_out: None,
+            obs_out: None,
         }
     }
 }
@@ -192,6 +201,8 @@ pub struct PassResult {
     pub stats: EngineStats,
     /// Result payloads concatenated in `(client, index)` order.
     pub payloads: Vec<u8>,
+    /// Worker span forest (empty unless telemetry was enabled).
+    pub spans: mpise_obs::SpanTree,
 }
 
 /// Runs one pass: `clients` threads submit the deterministic mix and
@@ -253,7 +264,13 @@ pub fn run_pass(workers: usize, opts: &LoadgenOptions, fixtures: &Fixtures) -> P
     });
     let elapsed_secs = t0.elapsed().as_secs_f64();
     let stats = engine.stats();
+    if mpise_obs::enabled() {
+        // Publication is idempotent set/replace, so the registry ends
+        // up describing whichever pass published last (the loaded one).
+        engine.publish_metrics(mpise_obs::global());
+    }
     engine.shutdown();
+    let spans = engine.take_worker_spans();
 
     PassResult {
         workers,
@@ -268,6 +285,7 @@ pub fn run_pass(workers: usize, opts: &LoadgenOptions, fixtures: &Fixtures) -> P
         },
         stats,
         payloads: client_payloads.concat(),
+        spans,
     }
 }
 
@@ -366,13 +384,20 @@ pub fn run(opts: &LoadgenOptions) -> LoadReport {
     }
 }
 
+/// `Option` latency/width fields serialize as JSON `null` when absent
+/// (an idle pass measured nothing; `0` would read as a measurement).
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| x.to_string())
+}
+
 fn pass_json(pass: &PassResult) -> String {
     format!(
         "    {{\"workers\": {}, \"requests\": {}, \"ok\": {}, \"errors\": {}, \
          \"elapsed_secs\": {:.4}, \"requests_per_sec\": {:.4}, \
          \"keygen\": {}, \"derive\": {}, \"validate\": {}, \
          \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
-         \"batches\": {}, \"batched_requests\": {}, \"mean_batch_width\": {:.3}}}",
+         \"batches\": {}, \"batched_requests\": {}, \"mean_batch_width\": {}, \
+         \"worker_completed\": [{}]}}",
         pass.workers,
         pass.requests,
         pass.ok,
@@ -382,12 +407,20 @@ fn pass_json(pass: &PassResult) -> String {
         pass.stats.keygen,
         pass.stats.derive,
         pass.stats.validate,
-        pass.stats.p50_us,
-        pass.stats.p99_us,
-        pass.stats.max_us,
+        json_opt_u64(pass.stats.p50_us),
+        json_opt_u64(pass.stats.p99_us),
+        json_opt_u64(pass.stats.max_us),
         pass.stats.batches,
         pass.stats.batched_requests,
-        pass.stats.mean_batch_width(),
+        pass.stats
+            .mean_batch_width()
+            .map_or_else(|| "null".to_owned(), |w| format!("{w:.3}")),
+        pass.stats
+            .worker_completed
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
     )
 }
 
@@ -396,6 +429,10 @@ pub fn report_json(report: &LoadReport) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"mpise-loadgen/v1\",\n");
     out.push_str(&format!("  \"date\": \"{}\",\n", utc_date_string()));
+    out.push_str(&format!(
+        "  \"provenance\": {},\n",
+        mpise_obs::Provenance::collect().json()
+    ));
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if report.options.smoke {
@@ -449,26 +486,6 @@ pub fn report_json(report: &LoadReport) -> String {
     out
 }
 
-/// `YYYY-MM-DD` in UTC (civil-from-days; same algorithm as the bench
-/// pipeline's date stamp).
-fn utc_date_string() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock after 1970")
-        .as_secs();
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
-
 fn print_summary(report: &LoadReport) {
     for pass in &report.passes {
         println!(
@@ -503,9 +520,13 @@ pub fn run_cli(args: &[String]) -> i32 {
         };
         match arg.as_str() {
             "--smoke" => {
-                let out = opts.out.take();
+                let keep = (
+                    opts.out.take(),
+                    opts.metrics_out.take(),
+                    opts.obs_out.take(),
+                );
                 opts = LoadgenOptions::smoke();
-                opts.out = out;
+                (opts.out, opts.metrics_out, opts.obs_out) = keep;
             }
             "--workers" => match parse_usize("--workers") {
                 Ok(v) => opts.workers = v.max(1),
@@ -541,14 +562,31 @@ pub fn run_cli(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--metrics-out" => match iter.next() {
+                Some(path) => opts.metrics_out = Some(path.clone()),
+                None => {
+                    eprintln!("loadgen: --metrics-out requires a path");
+                    return 2;
+                }
+            },
+            "--obs-out" => match iter.next() {
+                Some(path) => opts.obs_out = Some(path.clone()),
+                None => {
+                    eprintln!("loadgen: --obs-out requires a path");
+                    return 2;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--smoke] [--workers N] [--baseline-workers N] \
-                     [--clients N] [--requests N] [--lanes N] [--seed N] [--out PATH]\n\
+                     [--clients N] [--requests N] [--lanes N] [--seed N] [--out PATH] \
+                     [--metrics-out PATH] [--obs-out PATH]\n\
                      \n\
                      Runs the deterministic client mix against a 1-worker baseline\n\
                      and an N-worker engine, writes LOAD_<utc-date>.json, and exits\n\
-                     non-zero when the multi-worker throughput gate fails."
+                     non-zero when the multi-worker throughput gate fails.\n\
+                     --metrics-out / --obs-out (or MPISE_OBS=1) enable telemetry and\n\
+                     dump the Prometheus text / mpise-obs/v1 JSON snapshot."
                 );
                 return 0;
             }
@@ -557,6 +595,13 @@ pub fn run_cli(args: &[String]) -> i32 {
                 return 2;
             }
         }
+    }
+
+    // Telemetry is opt-in: either output flag turns it on, and the
+    // MPISE_OBS environment switch works even without a dump path.
+    mpise_obs::enable_from_env();
+    if opts.metrics_out.is_some() || opts.obs_out.is_some() {
+        mpise_obs::set_enabled(true);
     }
 
     let report = run(&opts);
@@ -571,6 +616,28 @@ pub fn run_cli(args: &[String]) -> i32 {
         return 2;
     }
     println!("\nwrote {path}");
+
+    if mpise_obs::enabled() {
+        if let Some(path) = &opts.metrics_out {
+            if let Err(e) = std::fs::write(path, mpise_obs::global().render_prometheus()) {
+                eprintln!("loadgen: failed to write {path}: {e}");
+                return 2;
+            }
+            println!("wrote {path} (Prometheus text)");
+        }
+        if let Some(path) = &opts.obs_out {
+            let mut spans = mpise_obs::SpanTree::default();
+            for pass in &report.passes {
+                spans.merge(pass.spans.clone());
+            }
+            let snapshot = mpise_obs::Snapshot::capture_with_spans(spans);
+            if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+                eprintln!("loadgen: failed to write {path}: {e}");
+                return 2;
+            }
+            println!("wrote {path} (mpise-obs/v1 snapshot)");
+        }
+    }
 
     if report.gate.pass {
         println!("gate: multi-worker throughput and payload determinism — PASS");

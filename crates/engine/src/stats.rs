@@ -18,11 +18,16 @@ pub(crate) struct StatsInner {
     pub(crate) cancelled: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
+    /// Jobs answered per worker, indexed by worker id.
+    pub(crate) worker_completed: Vec<AtomicU64>,
     pub(crate) latencies_us: Mutex<Vec<u64>>,
+    /// Telemetry span trees handed in by exiting workers (spans are
+    /// thread-local, so each worker merges its tree here on shutdown).
+    pub(crate) spans: Mutex<mpise_obs::SpanTree>,
 }
 
 impl StatsInner {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         StatsInner {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -34,12 +39,19 @@ impl StatsInner {
             cancelled: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            worker_completed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             latencies_us: Mutex::new(Vec::new()),
+            spans: Mutex::new(mpise_obs::SpanTree::default()),
         }
     }
 
     pub(crate) fn record_latency(&self, micros: u64) {
         self.latencies_us.lock().expect("stats lock").push(micros);
+    }
+
+    /// A copy of the retained latency population (microseconds).
+    pub(crate) fn latencies(&self) -> Vec<u64> {
+        self.latencies_us.lock().expect("stats lock").clone()
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize) -> EngineStats {
@@ -59,10 +71,15 @@ impl StatsInner {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            worker_completed: self
+                .worker_completed
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             queue_depth,
             p50_us: percentile(&latencies, 50.0),
             p99_us: percentile(&latencies, 99.0),
-            max_us: latencies.iter().copied().max().unwrap_or(0),
+            max_us: latencies.iter().copied().max(),
             elapsed_secs,
             throughput_rps: if elapsed_secs > 0.0 {
                 completed as f64 / elapsed_secs
@@ -73,15 +90,16 @@ impl StatsInner {
     }
 }
 
-/// Nearest-rank percentile over the recorded latencies (0 when none).
-fn percentile(samples: &[u64], pct: f64) -> u64 {
+/// Nearest-rank percentile over the recorded latencies (`None` when the
+/// series is empty — an idle engine has no latency, not a zero one).
+fn percentile(samples: &[u64], pct: f64) -> Option<u64> {
     if samples.is_empty() {
-        return 0;
+        return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 /// A point-in-time snapshot of the engine's counters.
@@ -108,14 +126,20 @@ pub struct EngineStats {
     pub batches: u64,
     /// Validation requests served through those batches.
     pub batched_requests: u64,
+    /// Jobs answered per worker, indexed by worker id. Refusals count
+    /// too, so the entries sum to `completed + expired + cancelled`.
+    pub worker_completed: Vec<u64>,
     /// Requests queued but not yet claimed at snapshot time.
     pub queue_depth: usize,
-    /// Median submit-to-response latency (microseconds).
-    pub p50_us: u64,
-    /// 99th-percentile submit-to-response latency (microseconds).
-    pub p99_us: u64,
-    /// Worst-case submit-to-response latency (microseconds).
-    pub max_us: u64,
+    /// Median submit-to-response latency (microseconds); `None` until a
+    /// first response exists.
+    pub p50_us: Option<u64>,
+    /// 99th-percentile submit-to-response latency (microseconds);
+    /// `None` until a first response exists.
+    pub p99_us: Option<u64>,
+    /// Worst-case submit-to-response latency (microseconds); `None`
+    /// until a first response exists.
+    pub max_us: Option<u64>,
     /// Seconds since the engine started.
     pub elapsed_secs: f64,
     /// Completed requests per second since the engine started.
@@ -123,12 +147,14 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Mean lanes per validation batch (1.0 when nothing was batched).
-    pub fn mean_batch_width(&self) -> f64 {
+    /// Mean lanes per validation batch; `None` on an idle engine (no
+    /// batches ran, so there is no width to report — the old `1.0`
+    /// placeholder read as a measured value).
+    pub fn mean_batch_width(&self) -> Option<f64> {
         if self.batches == 0 {
-            1.0
+            None
         } else {
-            self.batched_requests as f64 / self.batches as f64
+            Some(self.batched_requests as f64 / self.batches as f64)
         }
     }
 }
@@ -145,19 +171,24 @@ impl std::fmt::Display for EngineStats {
             "dropped:  {} rejected, {} expired, {} cancelled; queue depth {}",
             self.rejected, self.expired, self.cancelled, self.queue_depth
         )?;
-        writeln!(
-            out,
-            "batching: {} batches over {} validations (mean width {:.2})",
-            self.batches,
-            self.batched_requests,
-            self.mean_batch_width()
-        )?;
+        match self.mean_batch_width() {
+            Some(w) => writeln!(
+                out,
+                "batching: {} batches over {} validations (mean width {w:.2})",
+                self.batches, self.batched_requests
+            )?,
+            None => writeln!(out, "batching: none")?,
+        }
+        let ms = |v: Option<u64>| match v {
+            Some(us) => format!("{:.3} ms", us as f64 / 1e3),
+            None => "n/a".to_owned(),
+        };
         write!(
             out,
-            "latency:  p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms; throughput {:.2} req/s over {:.2} s",
-            self.p50_us as f64 / 1e3,
-            self.p99_us as f64 / 1e3,
-            self.max_us as f64 / 1e3,
+            "latency:  p50 {}, p99 {}, max {}; throughput {:.2} req/s over {:.2} s",
+            ms(self.p50_us),
+            ms(self.p99_us),
+            ms(self.max_us),
             self.throughput_rps,
             self.elapsed_secs
         )
@@ -171,16 +202,16 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let samples: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&samples, 50.0), 50);
-        assert_eq!(percentile(&samples, 99.0), 99);
-        assert_eq!(percentile(&samples, 100.0), 100);
-        assert_eq!(percentile(&[42], 50.0), 42);
-        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&samples, 50.0), Some(50));
+        assert_eq!(percentile(&samples, 99.0), Some(99));
+        assert_eq!(percentile(&samples, 100.0), Some(100));
+        assert_eq!(percentile(&[42], 50.0), Some(42));
+        assert_eq!(percentile(&[], 50.0), None);
     }
 
     #[test]
     fn snapshot_aggregates() {
-        let s = StatsInner::new();
+        let s = StatsInner::new(2);
         s.keygen.store(2, Ordering::Relaxed);
         s.validate.store(3, Ordering::Relaxed);
         s.record_latency(1000);
@@ -188,14 +219,39 @@ mod tests {
         let snap = s.snapshot(7);
         assert_eq!(snap.completed, 5);
         assert_eq!(snap.queue_depth, 7);
-        assert_eq!(snap.p50_us, 1000);
-        assert_eq!(snap.p99_us, 3000);
+        assert_eq!(snap.p50_us, Some(1000));
+        assert_eq!(snap.p99_us, Some(3000));
         assert!(snap.throughput_rps > 0.0);
     }
 
     #[test]
+    fn idle_engine_reports_no_latency_or_batch_width() {
+        // Regression: an idle engine used to report p50 = p99 = max = 0
+        // and a fabricated mean batch width of 1.0, indistinguishable
+        // from real measurements of a fast engine.
+        let s = StatsInner::new(2);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.p50_us, None);
+        assert_eq!(snap.p99_us, None);
+        assert_eq!(snap.max_us, None);
+        assert_eq!(snap.mean_batch_width(), None);
+        assert_eq!(snap.completed, 0);
+        let text = snap.to_string();
+        assert!(text.contains("batching: none"));
+        assert!(text.contains("p50 n/a"));
+    }
+
+    #[test]
+    fn batch_width_mean() {
+        let s = StatsInner::new(1);
+        s.batches.store(4, Ordering::Relaxed);
+        s.batched_requests.store(10, Ordering::Relaxed);
+        assert_eq!(s.snapshot(0).mean_batch_width(), Some(2.5));
+    }
+
+    #[test]
     fn display_is_stable() {
-        let s = StatsInner::new();
+        let s = StatsInner::new(1);
         let text = s.snapshot(0).to_string();
         assert!(text.contains("requests:"));
         assert!(text.contains("latency:"));

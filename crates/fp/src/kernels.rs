@@ -172,6 +172,21 @@ impl OpKind {
         }
     }
 
+    /// The telemetry span name for this operation (see `mpise-obs`;
+    /// static because span aggregation keys on `&'static str`).
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            OpKind::IntMul => "fp.int_mul",
+            OpKind::IntSqr => "fp.int_sqr",
+            OpKind::MontRedc => "fp.mont_redc",
+            OpKind::FastReduce => "fp.fast_reduce",
+            OpKind::FpAdd => "fp.add",
+            OpKind::FpSub => "fp.sub",
+            OpKind::FpMul => "fp.mul",
+            OpKind::FpSqr => "fp.sqr",
+        }
+    }
+
     /// Number of operand pointers the kernel takes (besides result and
     /// constants).
     pub fn arity(&self) -> usize {

@@ -97,6 +97,10 @@ impl KernelRunner {
             .mem
             .read_limbs(DATA_BASE + RESULT_OFF, out_words)
             .expect("result readable");
+        // Sole choke point for simulated-cost attribution: every
+        // simulator-backed field op funnels through here, so the cycles
+        // are charged to the innermost open telemetry span exactly once.
+        mpise_obs::add_sim_cost(stats.cycles, stats.instret);
         (out, stats)
     }
 }
@@ -293,6 +297,7 @@ pub fn validate_and_measure_full(
     iterations: usize,
     seed: u64,
 ) -> Result<OpMeasurement, String> {
+    let _span = mpise_obs::span(op.span_name());
     let mut rng = StdRng::seed_from_u64(seed);
     let config = runner.config;
     let mut seen: Option<OpMeasurement> = None;
@@ -339,6 +344,7 @@ pub fn validate_and_measure_full(
 ///
 /// Panics on any validation failure (a kernel bug).
 pub fn measure_config(config: Config, iterations: usize) -> Vec<OpMeasurement> {
+    let _span = mpise_obs::span("fp.measure");
     let mut runner = KernelRunner::new(config);
     OpKind::ALL
         .iter()

@@ -84,10 +84,11 @@ impl SimFp {
     }
 
     fn run2(&self, op: OpKind, a: &SimElem, b: &SimElem) -> SimElem {
+        let _span = mpise_obs::span(op.span_name());
         let n = self.words();
         let mut runner = self.runner.borrow_mut();
-        let (out, cycles) = runner.run(op, &[&a.words[..n], &b.words[..n]]);
-        self.cycles.set(self.cycles.get() + cycles);
+        let (out, stats) = runner.run_full(op, &[&a.words[..n], &b.words[..n]]);
+        self.cycles.set(self.cycles.get() + stats.cycles);
         self.calls.set(self.calls.get() + 1);
         let mut words = [0u64; RED_LIMBS];
         words[..n].copy_from_slice(&out);
@@ -95,10 +96,11 @@ impl SimFp {
     }
 
     fn run1(&self, op: OpKind, a: &SimElem) -> SimElem {
+        let _span = mpise_obs::span(op.span_name());
         let n = self.words();
         let mut runner = self.runner.borrow_mut();
-        let (out, cycles) = runner.run(op, &[&a.words[..n]]);
-        self.cycles.set(self.cycles.get() + cycles);
+        let (out, stats) = runner.run_full(op, &[&a.words[..n]]);
+        self.cycles.set(self.cycles.get() + stats.cycles);
         self.calls.set(self.calls.get() + 1);
         let mut words = [0u64; RED_LIMBS];
         words[..n].copy_from_slice(&out);
@@ -257,6 +259,33 @@ mod tests {
         assert!(sim.cycles() > after_one);
         sim.reset();
         assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn spans_reconcile_with_cycle_counter() {
+        // The obs span tree and SimFp's own counter observe the same
+        // kernel calls through the same choke point, so a span-wrapped
+        // workload must account for every simulated cycle exactly.
+        mpise_obs::set_enabled(true);
+        let _ = mpise_obs::take_spans(); // drop anything stale on this thread
+        let sim = SimFp::new(Config::ALL[3]);
+        {
+            let _g = mpise_obs::span("test.workload");
+            let a = sim.from_uint(&U512::from_u64(5));
+            let b = sim.from_uint(&U512::from_u64(9));
+            let c = sim.mul(&a, &b);
+            let _ = sim.add(&c, &a);
+            let _ = sim.sqr(&b);
+            let _ = sim.sub(&c, &b);
+        }
+        mpise_obs::set_enabled(false);
+        let tree = mpise_obs::take_spans();
+        let node = tree.child("test.workload").expect("span recorded");
+        assert_eq!(node.total_cycles(), sim.cycles(), "every cycle attributed");
+        assert!(node.total_instret() > 0);
+        for child in ["fp.mul", "fp.add", "fp.sqr", "fp.sub"] {
+            assert!(node.child(child).is_some(), "missing child span {child}");
+        }
     }
 
     #[test]

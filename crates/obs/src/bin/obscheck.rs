@@ -1,0 +1,66 @@
+//! `obscheck` — validates exported telemetry artifacts.
+//!
+//! ```text
+//! obscheck <metrics.prom> [snapshot.json]
+//! ```
+//!
+//! Checks that a Prometheus text dump parses (non-empty, well-formed
+//! sample lines, no duplicate metric families or series) and, when a
+//! second path is given, that the JSON snapshot declares the
+//! `mpise-obs/v1` schema with provenance. Exit code 0 = all checks
+//! pass; CI's `obs-smoke` job runs this over the `loadgen --smoke`
+//! telemetry output.
+
+use mpise_obs::prom;
+
+fn main() {
+    std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
+}
+
+fn run(args: &[String]) -> i32 {
+    let Some(prom_path) = args.first() else {
+        eprintln!("usage: obscheck <metrics.prom> [snapshot.json]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(prom_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obscheck: cannot read {prom_path}: {e}");
+            return 2;
+        }
+    };
+    match prom::validate(&text) {
+        Ok(summary) => println!(
+            "obscheck: {prom_path}: {} families, {} samples — OK",
+            summary.families, summary.samples
+        ),
+        Err(e) => {
+            eprintln!("obscheck: {prom_path}: INVALID — {e}");
+            return 1;
+        }
+    }
+
+    if let Some(json_path) = args.get(1) {
+        let json = match std::fs::read_to_string(json_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obscheck: cannot read {json_path}: {e}");
+                return 2;
+            }
+        };
+        for required in [
+            "\"schema\": \"mpise-obs/v1\"",
+            "\"provenance\"",
+            "\"git_commit\"",
+            "\"metrics\"",
+            "\"spans\"",
+        ] {
+            if !json.contains(required) {
+                eprintln!("obscheck: {json_path}: INVALID — missing {required}");
+                return 1;
+            }
+        }
+        println!("obscheck: {json_path}: mpise-obs/v1 snapshot — OK");
+    }
+    0
+}

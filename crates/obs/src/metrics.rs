@@ -1,0 +1,505 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms
+//! with Prometheus-style labels, exported as Prometheus text format or
+//! as part of the `mpise-obs/v1` JSON snapshot.
+//!
+//! Handles are cheap `Arc`-backed atomics, so hot paths increment
+//! without touching the registry lock; the lock is only taken to
+//! register a series or to render an export.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpise_obs::metrics::Registry;
+//! let r = Registry::new();
+//! let reqs = r.counter("requests_total", "Requests served", &[("kind", "validate")]);
+//! reqs.add(3);
+//! let depth = r.gauge("queue_depth", "Requests queued", &[]);
+//! depth.set(7.0);
+//! let text = r.render_prometheus();
+//! assert!(text.contains("requests_total{kind=\"validate\"} 3"));
+//! assert!(text.contains("queue_depth 7"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotone counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (for absorbing an externally maintained
+    /// counter, e.g. an `EngineStats` snapshot).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (an `f64` stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared state of one histogram series.
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the buckets (ascending; an implicit `+Inf`
+    /// bucket follows).
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts (len = bounds.len() + 1).
+    buckets: Vec<AtomicU64>,
+    /// Sum of observations × 1000 (fixed-point, so the atomic stays
+    /// integral; Prometheus sums are floats and 1/1000 resolution is
+    /// ample for microsecond latencies).
+    sum_milli: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Default latency buckets in microseconds: 100 µs … 10 s, roughly
+/// one bucket per 1–2–5 decade step.
+pub const LATENCY_BUCKETS_US: [f64; 12] = [
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    100_000.0,
+    500_000.0,
+    2_000_000.0,
+    10_000_000.0,
+];
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner
+            .sum_milli
+            .fetch_add((v * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Clears all buckets, then records every sample — for absorbing a
+    /// retained sample population (e.g. an engine's latency reservoir)
+    /// into the export.
+    pub fn replace_with_samples(&self, samples: &[u64]) {
+        let inner = &self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.sum_milli.store(0, Ordering::Relaxed);
+        inner.count.store(0, Ordering::Relaxed);
+        for &s in samples {
+            self.observe(s as f64);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn prometheus_type(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Series keyed by their rendered label set (`{k="v",…}` or "").
+    series: BTreeMap<String, Series>,
+}
+
+/// A thread-safe registry of metric families.
+///
+/// Use [`global`] for the process-wide registry the binaries export,
+/// or [`Registry::new`] for an isolated one (tests).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    pairs.sort();
+    format!("{{{}}}", pairs.join(","))
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let mut families = self.families.lock().expect("metrics registry lock");
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` already registered as a {}",
+            family.kind.prometheus_type()
+        );
+        family
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, labels, Kind::Counter, || {
+            Series::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, labels, Kind::Gauge, || {
+            Series::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram series with the given
+    /// ascending bucket bounds.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.series(name, help, labels, Kind::Histogram, || {
+            Series::Histogram(Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_milli: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!(
+                "# TYPE {name} {}\n",
+                family.kind.prometheus_type()
+            ));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", fmt_f64(g.get())));
+                    }
+                    Series::Histogram(h) => {
+                        let inner = &h.0;
+                        let base = labels.trim_start_matches('{').trim_end_matches('}');
+                        let mut cumulative = 0u64;
+                        for (i, bound) in inner.bounds.iter().enumerate() {
+                            cumulative += inner.buckets[i].load(Ordering::Relaxed);
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                join_labels(base, &format!("le=\"{}\"", fmt_f64(*bound))),
+                            ));
+                        }
+                        cumulative += inner.buckets[inner.bounds.len()].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            join_labels(base, "le=\"+Inf\""),
+                        ));
+                        out.push_str(&format!(
+                            "{name}_sum{labels} {}\n",
+                            fmt_f64(inner.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0)
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{labels} {}\n",
+                            inner.count.load(Ordering::Relaxed)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `"metrics"` JSON array of the `mpise-obs/v1` snapshot.
+    pub fn metrics_json(&self) -> String {
+        let families = self.families.lock().expect("metrics registry lock");
+        let mut out = String::from("[");
+        for (fi, (name, family)) in families.iter().enumerate() {
+            if fi > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{name}\", \"type\": \"{}\", \"help\": \"{}\", \"series\": [",
+                family.kind.prometheus_type(),
+                family.help,
+            ));
+            for (si, (labels, series)) in family.series.iter().enumerate() {
+                if si > 0 {
+                    out.push_str(", ");
+                }
+                let labels_json = labels_to_json(labels);
+                match series {
+                    Series::Counter(c) => out.push_str(&format!(
+                        "{{\"labels\": {labels_json}, \"value\": {}}}",
+                        c.get()
+                    )),
+                    Series::Gauge(g) => out.push_str(&format!(
+                        "{{\"labels\": {labels_json}, \"value\": {}}}",
+                        fmt_f64(g.get())
+                    )),
+                    Series::Histogram(h) => {
+                        let inner = &h.0;
+                        let counts: Vec<String> = inner
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed).to_string())
+                            .collect();
+                        let bounds: Vec<String> =
+                            inner.bounds.iter().map(|b| fmt_f64(*b)).collect();
+                        out.push_str(&format!(
+                            "{{\"labels\": {labels_json}, \"bounds\": [{}], \
+                             \"buckets\": [{}], \"sum\": {}, \"count\": {}}}",
+                            bounds.join(", "),
+                            counts.join(", "),
+                            fmt_f64(inner.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0),
+                            inner.count.load(Ordering::Relaxed),
+                        ));
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Joins a base label string (no braces, possibly empty) with one
+/// extra label into a rendered `{...}` set.
+fn join_labels(base: &str, extra: &str) -> String {
+    if base.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{{{base},{extra}}}")
+    }
+}
+
+/// Renders an f64 the way Prometheus expects: integral values without
+/// a trailing `.0`.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parses a rendered label set back into a JSON object.
+fn labels_to_json(labels: &str) -> String {
+    if labels.is_empty() {
+        return String::from("{}");
+    }
+    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+    let mut out = String::from("{");
+    for (i, pair) in inner.split(',').enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match pair.split_once('=') {
+            Some((k, v)) => out.push_str(&format!("\"{k}\": {v}")),
+            None => out.push_str(&format!("\"{pair}\": \"\"")),
+        }
+    }
+    out.push('}');
+    out
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry exported by the `loadgen`, `bench` and
+/// `key_service` binaries.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        let c = r.counter("reqs_total", "requests", &[("kind", "keygen")]);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        let g = r.gauge("depth", "queue depth", &[]);
+        g.set(4.5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"));
+        assert!(text.contains("reqs_total{kind=\"keygen\"} 3"));
+        assert!(text.contains("depth 4.5"));
+    }
+
+    #[test]
+    fn same_series_shares_the_handle() {
+        let r = Registry::new();
+        let a = r.counter("c", "x", &[("w", "0")]);
+        let b = r.counter("c", "x", &[("w", "0")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // A different label set is a separate series.
+        let other = r.counter("c", "x", &[("w", "1")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", "x", &[]);
+        let _ = r.gauge("m", "x", &[]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_prometheus() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "latency", &[], &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(500.0);
+        assert_eq!(h.count(), 3);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_us_sum 555"));
+        assert!(text.contains("lat_us_count 3"));
+    }
+
+    #[test]
+    fn histogram_replace_with_samples() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "latency", &[], &[10.0]);
+        h.observe(1.0);
+        h.replace_with_samples(&[5, 20, 30]);
+        assert_eq!(h.count(), 3);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let r = Registry::new();
+        r.counter("a_total", "a", &[("k", "v")]).inc();
+        r.histogram("h", "h", &[], &[1.0]).observe(0.5);
+        let json = r.metrics_json();
+        assert!(json.contains("\"name\": \"a_total\""));
+        assert!(json.contains("\"labels\": {\"k\": \"v\"}"));
+        assert!(json.contains("\"bounds\": [1]"));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        assert_eq!(label_key(&[("b", "2"), ("a", "1")]), "{a=\"1\",b=\"2\"}");
+        assert_eq!(label_key(&[]), "");
+    }
+}

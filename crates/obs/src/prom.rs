@@ -1,0 +1,158 @@
+//! Validation of Prometheus text exposition output.
+//!
+//! The CI `obs-smoke` job runs `loadgen --smoke` with telemetry
+//! enabled and feeds the resulting `/metrics`-style dump through
+//! [`validate`] (via the `obscheck` binary): the output must be
+//! non-empty, every sample line must parse, every metric family must
+//! declare its type exactly once, and no series may appear twice.
+
+use std::collections::BTreeSet;
+
+/// A summary of a validated exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromSummary {
+    /// Distinct metric families seen.
+    pub families: usize,
+    /// Sample lines seen.
+    pub samples: usize,
+}
+
+/// Checks a Prometheus text exposition for well-formedness.
+///
+/// # Errors
+///
+/// Returns a description of the first problem: empty input, an
+/// unparsable line, a duplicate `# TYPE` declaration, or a duplicate
+/// series (same name + label set).
+pub fn validate(text: &str) -> Result<PromSummary, String> {
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+            }
+            if !typed.insert(name.to_owned()) {
+                return Err(format!("line {lineno}: duplicate TYPE for metric `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+        let series = parse_sample_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !seen_series.insert(series) {
+            return Err(format!("line {lineno}: duplicate series `{line}`"));
+        }
+        samples += 1;
+    }
+
+    if samples == 0 {
+        return Err("exposition contains no sample lines".to_owned());
+    }
+    Ok(PromSummary {
+        families: typed.len(),
+        samples,
+    })
+}
+
+/// Parses one sample line, returning its identity (`name{labels}`).
+fn parse_sample_line(line: &str) -> Result<String, String> {
+    let (series, value) = match line.find('}') {
+        Some(close) => {
+            let (series, rest) = line.split_at(close + 1);
+            (series, rest.trim())
+        }
+        None => line
+            .split_once(' ')
+            .ok_or_else(|| "sample line has no value".to_owned())?,
+    };
+    let name_end = series.find('{').unwrap_or(series.len());
+    let name = &series[..name_end];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    if name_end < series.len() {
+        let labels = &series[name_end..];
+        if !labels.starts_with('{') || !labels.ends_with('}') {
+            return Err(format!("malformed label set `{labels}`"));
+        }
+    }
+    let value = value.trim();
+    if value.is_empty() {
+        return Err("sample line has no value".to_owned());
+    }
+    if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+        return Err(format!("unparsable sample value `{value}`"));
+    }
+    Ok(series.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "# HELP reqs_total requests\n# TYPE reqs_total counter\n\
+                    reqs_total{kind=\"a\"} 3\nreqs_total{kind=\"b\"} 4\n\
+                    # TYPE depth gauge\ndepth 1.5\n";
+        let summary = validate(text).unwrap();
+        assert_eq!(summary.families, 2);
+        assert_eq!(summary.samples, 3);
+    }
+
+    #[test]
+    fn accepts_registry_output() {
+        let r = crate::metrics::Registry::new();
+        r.counter("a_total", "a", &[("k", "v")]).inc();
+        r.gauge("g", "g", &[]).set(2.5);
+        r.histogram("h_us", "h", &[("w", "0")], &[1.0, 10.0])
+            .observe(3.0);
+        validate(&r.render_prometheus()).expect("registry output is valid");
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(validate("").is_err());
+        assert!(validate("# TYPE a counter\n").is_err(), "no samples");
+        assert!(
+            validate("# TYPE a counter\n# TYPE a counter\na 1\n").is_err(),
+            "duplicate TYPE"
+        );
+        assert!(
+            validate("a{x=\"1\"} 1\na{x=\"1\"} 2\n").is_err(),
+            "duplicate series"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(validate("1bad 3\n").is_err(), "name starts with a digit");
+        assert!(validate("ok notanumber\n").is_err(), "non-numeric value");
+        assert!(validate("novalue\n").is_err(), "missing value");
+        assert!(validate("# TYPE a zigzag\na 1\n").is_err(), "unknown type");
+    }
+}

@@ -1,0 +1,160 @@
+//! Run provenance: which commit, host and instant produced an
+//! artifact.
+//!
+//! The `BENCH_<date>.json`, `LOAD_<date>.json` and `mpise-obs/v1`
+//! writers embed a [`Provenance`] block so artifacts from different CI
+//! runs are comparable: two reports with the same `git_commit` should
+//! have byte-identical deterministic sections, and a regression can be
+//! bisected by commit rather than by upload date. Everything is
+//! collected with std only (the git commit is read straight from
+//! `.git/`), and every field degrades to `"unknown"` rather than
+//! failing the run.
+
+use crate::time::{unix_secs, utc_datetime_string};
+use std::path::{Path, PathBuf};
+
+/// Where and when an artifact was produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Full git commit hash of the working tree, or `"unknown"`.
+    pub git_commit: String,
+    /// Hostname, or `"unknown"`.
+    pub host: String,
+    /// RFC 3339 UTC timestamp (`YYYY-MM-DDTHH:MM:SSZ`).
+    pub timestamp: String,
+    /// Seconds since the Unix epoch.
+    pub unix_secs: u64,
+}
+
+impl Provenance {
+    /// Collects the provenance of the current process.
+    pub fn collect() -> Self {
+        let now = unix_secs();
+        Provenance {
+            git_commit: git_commit().unwrap_or_else(|| "unknown".to_owned()),
+            host: hostname().unwrap_or_else(|| "unknown".to_owned()),
+            timestamp: utc_datetime_string(now),
+            unix_secs: now,
+        }
+    }
+
+    /// The provenance as a JSON object (one line, no trailing newline).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"git_commit\": \"{}\", \"host\": \"{}\", \"timestamp\": \"{}\", \
+             \"unix_secs\": {}}}",
+            escape(&self.git_commit),
+            escape(&self.host),
+            escape(&self.timestamp),
+            self.unix_secs,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Finds the enclosing `.git` directory, walking up from the current
+/// working directory.
+fn find_git_dir() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Resolves HEAD to a commit hash: detached HEAD holds the hash
+/// directly; a symbolic ref is resolved through the loose ref file or
+/// `packed-refs`.
+fn git_commit() -> Option<String> {
+    let git_dir = find_git_dir()?;
+    resolve_head(&git_dir)
+}
+
+fn resolve_head(git_dir: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git_dir.join("HEAD")).ok()?;
+    let head = head.trim();
+    let reference = match head.strip_prefix("ref: ") {
+        None => return is_hash(head).then(|| head.to_owned()),
+        Some(r) => r.trim(),
+    };
+    if let Ok(loose) = std::fs::read_to_string(git_dir.join(reference)) {
+        let loose = loose.trim();
+        if is_hash(loose) {
+            return Some(loose.to_owned());
+        }
+    }
+    let packed = std::fs::read_to_string(git_dir.join("packed-refs")).ok()?;
+    for line in packed.lines() {
+        if let Some((hash, name)) = line.split_once(' ') {
+            if name.trim() == reference && is_hash(hash) {
+                return Some(hash.to_owned());
+            }
+        }
+    }
+    None
+}
+
+fn is_hash(s: &str) -> bool {
+    s.len() >= 40 && s.chars().all(|c| c.is_ascii_hexdigit())
+}
+
+fn hostname() -> Option<String> {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.is_empty() {
+            return Some(h);
+        }
+    }
+    for path in ["/proc/sys/kernel/hostname", "/etc/hostname"] {
+        if let Ok(h) = std::fs::read_to_string(path) {
+            let h = h.trim().to_owned();
+            if !h.is_empty() {
+                return Some(h);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_never_fails() {
+        let p = Provenance::collect();
+        assert!(!p.git_commit.is_empty());
+        assert!(!p.host.is_empty());
+        assert!(p.timestamp.ends_with('Z'));
+        assert!(p.unix_secs > 1_600_000_000, "clock is past 2020");
+    }
+
+    #[test]
+    fn git_commit_resolves_in_this_repo() {
+        // The workspace is a git repository, so the commit must
+        // resolve to a real hash here (not the "unknown" fallback).
+        let commit = git_commit().expect("repo has a HEAD");
+        assert!(is_hash(&commit), "{commit} is not a hash");
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let p = Provenance {
+            git_commit: "abc".to_owned(),
+            host: "a\"b".to_owned(),
+            timestamp: "2026-08-07T00:00:00Z".to_owned(),
+            unix_secs: 1,
+        };
+        let j = p.json();
+        assert!(j.contains("\"git_commit\": \"abc\""));
+        assert!(j.contains("a\\\"b"));
+        assert!(j.contains("\"unix_secs\": 1"));
+    }
+}

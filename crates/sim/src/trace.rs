@@ -120,6 +120,31 @@ mod tests {
     }
 
     #[test]
+    fn take_tracer_resets_the_machine() {
+        let mut a = Assembler::new();
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.ebreak();
+        let mut m = Machine::new();
+        m.load_program(&a.finish());
+        m.set_tracer(Some(Tracer::new(8)));
+        m.run().unwrap();
+        let t = m.take_tracer().unwrap();
+        assert_eq!(t.total, 2);
+        // The machine no longer holds a tracer: taking again yields
+        // nothing, and a re-run records nothing.
+        assert!(m.take_tracer().is_none());
+        m.cpu.pc = m.prog_base();
+        m.run().unwrap();
+        assert!(m.take_tracer().is_none());
+        // A freshly attached tracer starts from zero rather than
+        // accumulating onto the old run.
+        m.set_tracer(Some(Tracer::new(8)));
+        m.cpu.pc = m.prog_base();
+        m.run().unwrap();
+        assert_eq!(m.take_tracer().unwrap().total, 2);
+    }
+
+    #[test]
     fn records_writes() {
         let mut a = Assembler::new();
         a.li(Reg::A0, 5);

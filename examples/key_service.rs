@@ -10,6 +10,11 @@
 //! engine's statistics snapshot — operation counts, batching, latency
 //! percentiles and throughput. Validation requests queued together are
 //! served lane-parallel through the `FpBatch` kernels.
+//!
+//! The example also turns on the `mpise-obs` telemetry layer and
+//! finishes with a `/metrics`-style Prometheus dump plus the
+//! per-worker span tree, the same exposition `loadgen --metrics-out`
+//! writes to disk.
 
 use mpise::csidh::{CsidhKeypair, PublicKey};
 use mpise::engine::{Engine, EngineConfig, Outcome, Request};
@@ -19,6 +24,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    // Telemetry is disabled by default; the service opts in so the run
+    // ends with a scrape-ready metrics dump.
+    mpise::obs::set_enabled(true);
+
     let engine = Engine::start(
         EngineConfig {
             workers: 4,
@@ -93,6 +102,16 @@ fn main() {
 
     println!("\nengine statistics:");
     println!("{}", engine.stats());
+    engine.publish_metrics(mpise::obs::global());
     engine.shutdown();
     println!("engine drained and shut down.");
+
+    println!("\n/metrics (Prometheus text exposition):");
+    print!("{}", mpise::obs::global().render_prometheus());
+
+    let spans = engine.take_worker_spans();
+    if !spans.is_empty() {
+        println!("\nworker span tree (simulated cycles attribute only sim-backed runs):");
+        print!("{}", spans.render());
+    }
 }

@@ -17,7 +17,9 @@
 //! * [`csidh`] — the CSIDH-512 key exchange (`mpise-csidh`);
 //! * [`hw`] — the structural hardware cost model (`mpise-hw`);
 //! * [`engine`] — the batched multi-worker key-exchange service and
-//!   its load generator (`mpise-engine`).
+//!   its load generator (`mpise-engine`);
+//! * [`obs`] — spans, metrics and the sampling profiler behind every
+//!   runtime crate's telemetry (`mpise-obs`).
 //!
 //! ## Quick start
 //!
@@ -41,4 +43,5 @@ pub use mpise_engine as engine;
 pub use mpise_fp as fp;
 pub use mpise_hw as hw;
 pub use mpise_mpi as mpi;
+pub use mpise_obs as obs;
 pub use mpise_sim as sim;
