@@ -1,0 +1,6 @@
+//! The differential conformance gate; see [`mpise_conformance::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mpise_conformance::cli::run_cli(&args));
+}

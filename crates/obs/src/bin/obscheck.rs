@@ -1,15 +1,24 @@
-//! `obscheck` — validates exported telemetry artifacts.
+//! `obscheck` — validates exported telemetry and gate artifacts.
 //!
 //! ```text
-//! obscheck <metrics.prom> [snapshot.json]
+//! obscheck <artifact> [artifact ...]
 //! ```
 //!
-//! Checks that a Prometheus text dump parses (non-empty, well-formed
-//! sample lines, no duplicate metric families or series) and, when a
-//! second path is given, that the JSON snapshot declares the
-//! `mpise-obs/v1` schema with provenance. Exit code 0 = all checks
-//! pass; CI's `obs-smoke` job runs this over the `loadgen --smoke`
-//! telemetry output.
+//! Arguments are classified by extension. `.prom` files must parse as
+//! Prometheus text (non-empty, well-formed sample lines, no duplicate
+//! metric families or series). `.json` files must declare one of the
+//! known artifact schemas and carry that schema's required keys:
+//!
+//! * `mpise-obs/v1` — telemetry snapshot (`metrics`, `spans`);
+//! * `mpise-bench/v1` — pipeline benchmark (`kernels`, `action`, `host`);
+//! * `mpise-loadgen/v1` — load-generator run (`passes`, `payloads`);
+//! * `mpise-difftest/v1` — conformance gate (`modes`, `isa_fuzz`,
+//!   `kernel_difftest`, `kat_corpus`, `pass`).
+//!
+//! Every JSON artifact must embed provenance (`git_commit`). Exit code
+//! 0 = all checks pass, 1 = an artifact is invalid, 2 = usage/IO.
+//! CI's `obs-smoke` job runs this over the `loadgen --smoke` telemetry
+//! output and `difftest-smoke` over the gate artifact.
 
 use mpise_obs::prom;
 
@@ -17,50 +26,140 @@ fn main() {
     std::process::exit(run(&std::env::args().skip(1).collect::<Vec<_>>()));
 }
 
-fn run(args: &[String]) -> i32 {
-    let Some(prom_path) = args.first() else {
-        eprintln!("usage: obscheck <metrics.prom> [snapshot.json]");
-        return 2;
-    };
-    let text = match std::fs::read_to_string(prom_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("obscheck: cannot read {prom_path}: {e}");
-            return 2;
-        }
-    };
-    match prom::validate(&text) {
-        Ok(summary) => println!(
-            "obscheck: {prom_path}: {} families, {} samples — OK",
-            summary.families, summary.samples
-        ),
-        Err(e) => {
-            eprintln!("obscheck: {prom_path}: INVALID — {e}");
-            return 1;
-        }
-    }
+/// Known JSON artifact schemas with per-schema required keys.
+const SCHEMAS: &[(&str, &[&str])] = &[
+    ("mpise-obs/v1", &["\"metrics\"", "\"spans\""]),
+    (
+        "mpise-bench/v1",
+        &["\"mode\"", "\"kernels\"", "\"action\"", "\"host\""],
+    ),
+    (
+        "mpise-loadgen/v1",
+        &["\"mode\"", "\"passes\"", "\"payloads\""],
+    ),
+    (
+        "mpise-difftest/v1",
+        &[
+            "\"modes\"",
+            "\"isa_fuzz\"",
+            "\"kernel_difftest\"",
+            "\"kat_corpus\"",
+            "\"pass\"",
+        ],
+    ),
+];
 
-    if let Some(json_path) = args.get(1) {
-        let json = match std::fs::read_to_string(json_path) {
+fn run(args: &[String]) -> i32 {
+    if args.is_empty() {
+        eprintln!("usage: obscheck <artifact.prom|artifact.json> ...");
+        return 2;
+    }
+    for path in args {
+        let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("obscheck: cannot read {json_path}: {e}");
+                eprintln!("obscheck: cannot read {path}: {e}");
                 return 2;
             }
         };
-        for required in [
-            "\"schema\": \"mpise-obs/v1\"",
-            "\"provenance\"",
-            "\"git_commit\"",
-            "\"metrics\"",
-            "\"spans\"",
-        ] {
-            if !json.contains(required) {
-                eprintln!("obscheck: {json_path}: INVALID — missing {required}");
-                return 1;
-            }
+        let code = if path.ends_with(".json") {
+            check_json(path, &text)
+        } else {
+            check_prom(path, &text)
+        };
+        if code != 0 {
+            return code;
         }
-        println!("obscheck: {json_path}: mpise-obs/v1 snapshot — OK");
     }
     0
+}
+
+fn check_prom(path: &str, text: &str) -> i32 {
+    match prom::validate(text) {
+        Ok(summary) => {
+            println!(
+                "obscheck: {path}: {} families, {} samples — OK",
+                summary.families, summary.samples
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("obscheck: {path}: INVALID — {e}");
+            1
+        }
+    }
+}
+
+fn check_json(path: &str, json: &str) -> i32 {
+    let Some((schema, required)) = SCHEMAS
+        .iter()
+        .find(|(name, _)| json.contains(&format!("\"schema\": \"{name}\"")))
+    else {
+        eprintln!(
+            "obscheck: {path}: INVALID — no known schema declaration \
+             (expected one of: {})",
+            SCHEMAS
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return 1;
+    };
+    for key in required
+        .iter()
+        .chain(["\"provenance\"", "\"git_commit\""].iter())
+    {
+        if !json.contains(key) {
+            eprintln!("obscheck: {path}: INVALID — {schema} artifact missing {key}");
+            return 1;
+        }
+    }
+    println!("obscheck: {path}: {schema} artifact — OK");
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &std::path::Path, name: &str, body: &str) -> String {
+        let p = dir.join(name);
+        std::fs::write(&p, body).expect("write temp artifact");
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn classifies_and_validates_each_schema() {
+        let dir = std::env::temp_dir().join("obscheck-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let obs = write(
+            &dir,
+            "obs.json",
+            r#"{"schema": "mpise-obs/v1", "provenance": {"git_commit": "x"},
+                "metrics": {}, "spans": []}"#,
+        );
+        let diff = write(
+            &dir,
+            "difftest.json",
+            r#"{"schema": "mpise-difftest/v1", "provenance": {"git_commit": "x"},
+                "modes": {"isa_fuzz": {}, "kernel_difftest": {}, "kat_corpus": {}},
+                "pass": true}"#,
+        );
+        let prom = write(&dir, "m.prom", "mpise_test_total 1\n");
+        assert_eq!(run(&[prom.clone(), obs.clone(), diff.clone()]), 0);
+        // Legacy call shape still works: prom first, snapshot second.
+        assert_eq!(run(&[prom, obs]), 0);
+
+        let bad = write(
+            &dir,
+            "bad.json",
+            r#"{"schema": "mpise-difftest/v1", "provenance": {"git_commit": "x"},
+                "modes": {"isa_fuzz": {}}}"#,
+        );
+        assert_eq!(run(&[bad]), 1);
+        let unknown = write(&dir, "unknown.json", r#"{"schema": "other/v9"}"#);
+        assert_eq!(run(&[unknown]), 1);
+        assert_eq!(run(&[]), 2);
+    }
 }

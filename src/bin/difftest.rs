@@ -1,0 +1,7 @@
+//! Workspace-root alias so `cargo run --bin difftest` works without
+//! `-p mpise-conformance`; see [`mpise_conformance::cli`] for modes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mpise_conformance::cli::run_cli(&args));
+}

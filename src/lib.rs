@@ -19,7 +19,11 @@
 //! * [`engine`] — the batched multi-worker key-exchange service and
 //!   its load generator (`mpise-engine`);
 //! * [`obs`] — spans, metrics and the sampling profiler behind every
-//!   runtime crate's telemetry (`mpise-obs`).
+//!   runtime crate's telemetry (`mpise-obs`);
+//! * [`conformance`] — the differential conformance subsystem: the
+//!   pure reference executor, the ISA fuzzer, the cross-backend
+//!   kernel difftest and the CSIDH-512 KAT suite
+//!   (`mpise-conformance`).
 //!
 //! ## Quick start
 //!
@@ -37,6 +41,7 @@
 //! assert_eq!(s1, s2);
 //! ```
 
+pub use mpise_conformance as conformance;
 pub use mpise_core as isa;
 pub use mpise_csidh as csidh;
 pub use mpise_engine as engine;

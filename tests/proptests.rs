@@ -26,6 +26,16 @@ fn arb_residue() -> impl Strategy<Value = U512> {
     })
 }
 
+/// Non-canonical residues in `[p, 2p)`: every value a correct
+/// reduction step must fold, and a range the plain `arb_residue`
+/// generator can never emit. `2p < 2^512`, so the addition is exact.
+fn arb_noncanonical() -> impl Strategy<Value = U512> {
+    arb_residue().prop_map(|v| {
+        let p = mpise::fp::params::Csidh512::get().p;
+        v.wrapping_add(&p)
+    })
+}
+
 fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u8..32).prop_map(|n| Reg::from_number(n).expect("in range"))
 }
@@ -58,6 +68,60 @@ proptest! {
         let s = mod_add(&a, &b, &p);
         prop_assert!(s < p);
         prop_assert_eq!(mod_sub(&s, &b, &p), a);
+    }
+
+    #[test]
+    fn noncanonical_imports_fold_modulo_p(x in arb_noncanonical()) {
+        // Pinned behavior: `Fp::from_uint` reduces modulo p, so an
+        // import from [p, 2p) is indistinguishable from its canonical
+        // twin x − p, and the export is always canonical.
+        let p = mpise::fp::params::Csidh512::get().p;
+        let canon = x.wrapping_sub(&p);
+        let ff = FpFull::new();
+        prop_assert_eq!(ff.from_uint(&x), ff.from_uint(&canon));
+        prop_assert!(ff.to_uint(&ff.from_uint(&x)) < p);
+        let fr = FpRed::new();
+        prop_assert_eq!(fr.from_uint(&x), fr.from_uint(&canon));
+        prop_assert!(fr.to_uint(&fr.from_uint(&x)) < p);
+    }
+
+    #[test]
+    fn fast_reduce_is_exact_on_noncanonical_inputs(x in arb_noncanonical()) {
+        // Pinned behavior: on [p, 2p) both single-subtraction
+        // reductions return exactly x − p (not merely "something
+        // canonical"), and on [0, p) they are the identity.
+        let p = mpise::fp::params::Csidh512::get().p;
+        let folded = x.wrapping_sub(&p);
+        prop_assert_eq!(fast_reduce_add(&x, &p), folded);
+        prop_assert_eq!(fast_reduce_swap(&x, &p), folded);
+        prop_assert_eq!(fast_reduce_add(&folded, &p), folded);
+        prop_assert_eq!(fast_reduce_swap(&folded, &p), folded);
+    }
+
+    #[test]
+    fn backends_agree_on_noncanonical_inputs(x in arb_noncanonical(), b in arb_residue()) {
+        // Mixed canonical/non-canonical operands must not split the
+        // radices apart: this was the adversarial-edge gap — the old
+        // generators folded everything into [0, p) first.
+        let ff = FpFull::new();
+        let fr = FpRed::new();
+        let m1 = ff.to_uint(&ff.mul(&ff.from_uint(&x), &ff.from_uint(&b)));
+        let m2 = fr.to_uint(&fr.mul(&fr.from_uint(&x), &fr.from_uint(&b)));
+        prop_assert_eq!(m1, m2);
+        let s1 = ff.to_uint(&ff.add(&ff.from_uint(&x), &ff.from_uint(&b)));
+        let s2 = fr.to_uint(&fr.add(&fr.from_uint(&x), &fr.from_uint(&b)));
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn reduced_radix_conversion_preserves_noncanonical_values(x in arb_noncanonical()) {
+        // Pinned behavior: radix conversion is NOT reduction — a
+        // 512-bit value in [p, 2p) survives the 9 × 57-bit round trip
+        // bit-exactly (9 · 57 = 513 bits ≥ 512). Folding happens at
+        // the field boundary, never inside the digit converter.
+        let r: Reduced<9> = Reduced::from_uint(&x);
+        prop_assert!(r.is_canonical());
+        prop_assert_eq!(r.to_uint::<8>(), x);
     }
 
     #[test]
